@@ -1,0 +1,62 @@
+// Command timely regenerates the paper's tables and figures from the
+// reproduction's simulators.
+//
+// Usage:
+//
+//	timely list             enumerate the available experiments
+//	timely all              run every experiment
+//	timely <id> [...]       run specific experiments (fig4, table5, ...)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "timely:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return nil
+	case "all":
+		return experiments.RunAll(os.Stdout)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	for _, id := range args {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== %s — %s ===\n", e.Paper, e.Description)
+		if err := e.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println("timely — regenerate the TIMELY (ISCA 2020) evaluation artifacts")
+	fmt.Println()
+	fmt.Println("usage:")
+	fmt.Println("  timely list          enumerate experiments")
+	fmt.Println("  timely all           run every experiment")
+	fmt.Println("  timely <id> [...]    run specific experiments")
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "TIMELY: Pushing Data
+// Movements and Interfaces in PIM Accelerators Towards Local and in Time
+// Domain" (Li et al., ISCA 2020): a functional simulator of the time-domain
+// ReRAM processing-in-memory datapath, analytic architecture models of
+// TIMELY and its PRIME/ISAAC baselines, the 15-network benchmark zoo, and a
+// harness regenerating every table and figure of the paper's evaluation.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The bench harness lives in bench_test.go; run it with
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,61 @@
+// vgg_energy reproduces the paper's VGG-D energy deep-dive: it evaluates one
+// ImageNet-scale inference on TIMELY and on the PRIME baseline, printing the
+// per-component ledgers, the data-type and memory-level breakdowns of
+// Fig. 9, and the headline efficiency ratio.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/report"
+)
+
+func main() {
+	vgg := model.VGG("D")
+	fmt.Printf("VGG-D: %d weighted layers, %.1f G MACs, %.1f M params\n",
+		len(vgg.WeightedLayers()), float64(vgg.TotalMACs())/1e9, float64(vgg.TotalParams())/1e6)
+
+	t8, err := accel.NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := accel.NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.New("\nPer-component energy (one inference)",
+		"component", "TIMELY ops", "TIMELY energy", "PRIME ops", "PRIME energy")
+	for _, c := range energy.Components() {
+		te, pe := t8.Ledger.Energy(c), pr.Ledger.Energy(c)
+		if te == 0 && pe == 0 {
+			continue
+		}
+		t.Add(c.String(),
+			fmt.Sprintf("%.3g", t8.Ledger.Count(c)), report.MJ(te),
+			fmt.Sprintf("%.3g", pr.Ledger.Count(c)), report.MJ(pe))
+	}
+	t.Add("TOTAL", "", report.MJ(t8.Ledger.Total()), "", report.MJ(pr.Ledger.Total()))
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	d := report.New("\nData-movement energy by data type (Fig. 9(d))",
+		"data type", "TIMELY", "PRIME", "reduction")
+	for _, cl := range []energy.Class{energy.ClassPsum, energy.ClassInput, energy.ClassOutput} {
+		tm, pm := t8.Ledger.MovementByClass(cl), pr.Ledger.MovementByClass(cl)
+		d.Add(cl.String(), report.MJ(tm), report.MJ(pm), report.Pct(1-tm/pm))
+	}
+	if err := d.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nEnergy efficiency: TIMELY %.2f TOPs/W vs PRIME %.2f TOPs/W (%.1fx, paper: 15.6x)\n",
+		t8.EfficiencyTOPsPerWatt(vgg), pr.EfficiencyTOPsPerWatt(vgg),
+		pr.Ledger.Total()/t8.Ledger.Total())
+}

@@ -1,0 +1,106 @@
+// Package accel contains the architecture-level analytic simulators — the
+// in-house-simulator reproduction the paper's evaluation rests on (§VI-A
+// "Methodology"). Each accelerator model walks a network layer by layer,
+// counting component operations into an energy ledger (package energy) and
+// deriving throughput from its pipeline model (package pipeline).
+//
+// Three models are implemented from scratch: TIMELY (O2IR mapping, ALB
+// locality, TDI interfaces, intra-/inter-sub-chip pipelining), PRIME
+// (voltage-domain interfaces, two-level memory, serial layer execution) and
+// ISAAC (bit-serial 16-bit waves, shared ADCs, eDRAM tiles, balanced
+// inter-layer pipeline). PipeLayer, AtomLayer and Eyeriss contribute their
+// published peak numbers only, exactly as in the paper (see peers.go).
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/model"
+)
+
+// Result is the outcome of evaluating one network on one accelerator.
+type Result struct {
+	// Accelerator and Network name the evaluation.
+	Accelerator, Network string
+	// Ledger holds the per-component, per-class operation counts and the
+	// unit-energy table; Ledger.Total() is the energy per image in fJ.
+	Ledger *energy.Ledger
+	// CyclesPerImage and CycleTimePS describe the steady-state throughput;
+	// ImagesPerSec is the derived rate.
+	CyclesPerImage float64
+	CycleTimePS    float64
+	ImagesPerSec   float64
+	// Chips is the deployment size used.
+	Chips int
+	// Instances holds the weight-duplication (instance) count per weighted
+	// layer, in layer order. The Fig. 8(b) experiment feeds ISAAC's
+	// balanced ratios into TIMELY, per the paper's methodology.
+	Instances []int
+	// Fits reports whether one instance of every layer fit the deployment
+	// simultaneously. When false, weights must be reloaded between layers;
+	// energy figures remain valid, throughput figures assume free reloads
+	// (optimistic for the baseline, i.e. conservative for TIMELY's ratios).
+	Fits bool
+}
+
+// EnergyPerImageMJ returns the per-image energy in millijoules.
+func (r *Result) EnergyPerImageMJ() float64 { return r.Ledger.Total() * 1e-12 }
+
+// AveragePowerWatts returns the average power the deployment draws at its
+// steady-state throughput: energy per image × images per second.
+func (r *Result) AveragePowerWatts() float64 {
+	return r.Ledger.Total() * 1e-15 * r.ImagesPerSec
+}
+
+// OpsPerImage counts one MAC as one operation, the convention the paper's
+// TOPs figures use (Table IV footnotes).
+func OpsPerImage(n *model.Network) float64 { return float64(n.TotalMACs()) }
+
+// EfficiencyTOPsPerWatt returns achieved ops per joule in TOPs/W terms:
+// (MACs per image) / (energy per image).
+func (r *Result) EfficiencyTOPsPerWatt(n *model.Network) float64 {
+	e := r.Ledger.Total() * 1e-15 // fJ -> J
+	if e <= 0 {
+		return 0
+	}
+	return OpsPerImage(n) / e / 1e12
+}
+
+// Accelerator evaluates networks at a given deployment size.
+type Accelerator interface {
+	// Name identifies the model ("TIMELY", "PRIME", "ISAAC").
+	Name() string
+	// Evaluate runs one inference pass analytically.
+	Evaluate(n *model.Network) (*Result, error)
+}
+
+// ceilDiv is shared integer arithmetic for the access models.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("accel: non-positive divisor %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// primeInputReads is the PRIME-style L1 input-read count for one layer:
+// every input is re-read for each vertical/horizontal filter slide,
+// Z·G/S² times (validated against Table V), while the D-filter and
+// B-row sharing come free inside the crossbar.
+func primeInputReads(l model.Layer) float64 {
+	switch l.Kind {
+	case model.KindConv:
+		return float64(l.Inputs()) * float64(l.Z*l.G) / float64(l.S*l.S)
+	case model.KindFC:
+		return float64(l.Inputs())
+	}
+	return 0
+}
+
+// o2irInputReads is TIMELY's only-once input-read count (Table V).
+func o2irInputReads(l model.Layer) float64 {
+	if !l.IsWeighted() {
+		return 0
+	}
+	return float64(l.Inputs())
+}

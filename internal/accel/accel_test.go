@@ -1,0 +1,392 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/model"
+	"repro/internal/params"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if r := math.Abs(got-want) / math.Abs(want); r > relTol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// TestTableVInputReads reproduces Table V exactly: L1 input-read counts of
+// VGG-D CONV1-6 for PRIME and TIMELY, with the 88.9 % saving.
+func TestTableVInputReads(t *testing.T) {
+	convs := model.VGG("D").ConvLayers()
+	wantPrime := []float64{1.35e6, 28.90e6, 7.23e6, 14.45e6, 3.61e6, 7.23e6}
+	for i, want := range wantPrime {
+		got := primeInputReads(convs[i])
+		within(t, convs[i].Name+" PRIME reads", got, want, 0.005)
+		o2ir := o2irInputReads(convs[i])
+		within(t, convs[i].Name+" TIMELY reads", o2ir, want/9, 0.005)
+		saving := 1 - o2ir/got
+		within(t, convs[i].Name+" saving", saving, 0.889, 0.001)
+	}
+}
+
+// TestPrimeBreakdownMatchesFig4b locks the PRIME calibration: inputs ≈36 %,
+// psum+output movement ≈47 %, ADC ≈17 %, DAC ≈0 % on VGG-D, with the total
+// near the 14.8 mJ implied by PRIME's published peak.
+func TestPrimeBreakdownMatchesFig4b(t *testing.T) {
+	r, err := NewPrime(1).Evaluate(model.VGG("D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Ledger.Total()
+	within(t, "PRIME VGG-D total (mJ)", tot*1e-12, 14.8, 0.05)
+	adc := r.Ledger.Energy(energy.ADCConv)
+	dac := r.Ledger.Energy(energy.DACConv)
+	inputMove := r.Ledger.MovementByClass(energy.ClassInput)
+	psumOutMove := r.Ledger.MovementByClass(energy.ClassPsum) +
+		r.Ledger.MovementByClass(energy.ClassOutput)
+	within(t, "inputs share", inputMove/tot, 0.36, 0.05)
+	within(t, "psums+outputs share", psumOutMove/tot, 0.47, 0.05)
+	within(t, "ADC share", adc/tot, 0.17, 0.05)
+	if dac/tot > 0.02 {
+		t.Errorf("DAC share = %.3f, want ≈0 (Fig. 4(b))", dac/tot)
+	}
+}
+
+// TestIsaacBreakdownMatchesFig4c locks the ISAAC calibration: interfaces
+// ≈61 %, comm ≈19 %, memory ≈12 %, digital ≈8 %.
+func TestIsaacBreakdownMatchesFig4c(t *testing.T) {
+	r, err := NewIsaac(1).Evaluate(model.VGG("D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Ledger.Total()
+	ifc := r.Ledger.InterfaceEnergy()
+	comm := r.Ledger.ByClass(energy.ClassComm)
+	mem := r.Ledger.Energy(energy.EDRAMRead) + r.Ledger.Energy(energy.EDRAMWrite) +
+		r.Ledger.Energy(energy.IRRead)
+	digital := r.Ledger.ByClass(energy.ClassDigital)
+	within(t, "ISAAC interface share", ifc/tot, 0.61, 0.05)
+	within(t, "ISAAC comm share", comm/tot, 0.19, 0.06)
+	within(t, "ISAAC memory share", mem/tot, 0.12, 0.10)
+	within(t, "ISAAC digital share", digital/tot, 0.08, 0.10)
+}
+
+// TestVGGDEnergyRatios checks the headline Fig. 8(a) VGG-D points: TIMELY is
+// 15.6× PRIME (we land within the same order, see EXPERIMENTS.md) and 22.2×
+// ISAAC.
+func TestVGGDEnergyRatios(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioPrime := pr.Ledger.Total() / t8.Ledger.Total()
+	if ratioPrime < 10 || ratioPrime > 35 {
+		t.Errorf("PRIME/TIMELY-8 energy ratio = %.1f, want one order of magnitude (paper: 15.6)", ratioPrime)
+	}
+	t16, err := NewTimely(16, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := NewIsaac(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioIsaac := is.Ledger.Total() / t16.Ledger.Total()
+	within(t, "ISAAC/TIMELY-16 energy ratio", ratioIsaac, 22.2, 0.15)
+}
+
+// TestThroughputRatiosMatchFig8b checks the Fig. 8(b) shape: TIMELY ≈736.6×
+// PRIME (uniform duplication both sides) and ≈2.1-2.7× ISAAC (ISAAC's
+// balanced duplication ratios shared with TIMELY).
+func TestThroughputRatiosMatchFig8b(t *testing.T) {
+	vgg := model.VGG("D")
+	for _, chips := range []int{16, 32, 64} {
+		t8, err := NewTimely(8, chips).Evaluate(vgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := NewPrime(chips).Evaluate(vgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp := t8.ImagesPerSec / pr.ImagesPerSec
+		if rp < 400 || rp > 1100 {
+			t.Errorf("%d chips: TIMELY/PRIME throughput = %.0f, want ≈736.6", chips, rp)
+		}
+		is, err := NewIsaac(chips).Evaluate(vgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t16 := NewTimely(16, chips)
+		t16.LayerInstances = is.Instances
+		r16, err := t16.Evaluate(vgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := r16.ImagesPerSec / is.ImagesPerSec
+		if ri < 1.3 || ri > 4 {
+			t.Errorf("%d chips: TIMELY/ISAAC throughput = %.2f, want ≈2.1-2.7", chips, ri)
+		}
+	}
+}
+
+// TestInterfaceEnergyMatchesFig9b: TIMELY's DTC+TDC energy is ≈99.6 % lower
+// than PRIME's DAC+ADC on VGG-D.
+func TestInterfaceEnergyMatchesFig9b(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - t8.Ledger.InterfaceEnergy()/pr.Ledger.InterfaceEnergy()
+	if red < 0.99 {
+		t.Errorf("interface energy reduction = %.4f, want ≥0.99 (paper: 0.996)", red)
+	}
+}
+
+// TestMemoryEnergyMatchesFig9c: TIMELY's memory-access energy (ALB+L1+L3)
+// is ≈93 % lower than PRIME's (L1+L2+L3).
+func TestMemoryEnergyMatchesFig9c(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := func(r *Result) float64 {
+		return r.Ledger.ByLevel(energy.LevelALB) + r.Ledger.ByLevel(energy.LevelL1) +
+			r.Ledger.ByLevel(energy.LevelL2) + r.Ledger.ByLevel(energy.LevelL3)
+	}
+	red := 1 - mem(t8)/mem(pr)
+	within(t, "memory energy reduction", red, 0.93, 0.05)
+	// TIMELY removes the L2 level entirely.
+	if t8.Ledger.ByLevel(energy.LevelL2) != 0 {
+		t.Errorf("TIMELY has L2 energy: %v", t8.Ledger.ByLevel(energy.LevelL2))
+	}
+}
+
+// TestDataTypeReductionsMatchFig9d: per-data-type movement reductions —
+// psums ≈99.9 %, inputs ≈95.8 %, outputs ≈87.1 %.
+func TestDataTypeReductionsMatchFig9d(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := func(cl energy.Class) float64 {
+		return 1 - t8.Ledger.MovementByClass(cl)/pr.Ledger.MovementByClass(cl)
+	}
+	if got := red(energy.ClassPsum); got < 0.97 {
+		t.Errorf("psum movement reduction = %.4f, want ≥0.97 (paper: 0.999)", got)
+	}
+	within(t, "input movement reduction", red(energy.ClassInput), 0.958, 0.03)
+	within(t, "output movement reduction", red(energy.ClassOutput), 0.871, 0.05)
+}
+
+// TestFig11Retrofit: ALB+O2IR inside PRIME's FF subarrays cuts intra-bank
+// data-movement energy by ≈68 %.
+func TestFig11Retrofit(t *testing.T) {
+	vgg := model.VGG("D")
+	base, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retro, err := (&Prime{Cfg: params.DefaultPrime(), ALBO2IR: true}).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := 1 - IntraBankEnergy(retro.Ledger)/IntraBankEnergy(base.Ledger)
+	within(t, "intra-bank reduction", red, 0.68, 0.10)
+}
+
+// TestTimelyPeaks: computational density must match Table IV closely (the
+// geometry fixes it); efficiency lands above the paper's figure because the
+// Table II component energies give a cheaper chip than the authors' power
+// model (documented in EXPERIMENTS.md).
+func TestTimelyPeaks(t *testing.T) {
+	p8 := ComputeTimelyPeak(8)
+	within(t, "8-bit density", p8.DensityTOPsMM2, 38.33, 0.1)
+	if p8.EfficiencyTOPsW < 21.0 || p8.EfficiencyTOPsW > 4*21.0 {
+		t.Errorf("8-bit efficiency = %.1f TOPs/W, want within [21, 84] (paper: 21)", p8.EfficiencyTOPsW)
+	}
+	p16 := ComputeTimelyPeak(16)
+	within(t, "16-bit density", p16.DensityTOPsMM2, 9.58, 0.1)
+	if p16.EfficiencyTOPsW < 6.9 || p16.EfficiencyTOPsW > 4*6.9 {
+		t.Errorf("16-bit efficiency = %.1f TOPs/W, want within [6.9, 27.6] (paper: 6.9)", p16.EfficiencyTOPsW)
+	}
+}
+
+// TestTableIVImprovements: with the computed TIMELY peaks and the reported
+// baseline peaks, the Table IV improvement factors keep their order.
+func TestTableIVImprovements(t *testing.T) {
+	p8 := ComputeTimelyPeak(8)
+	prime, _ := ReportedPeak("PRIME")
+	if imp := p8.DensityTOPsMM2 / prime.DensityTOPsMM2; imp < 20 || imp > 45 {
+		t.Errorf("density improvement over PRIME = %.1f, want ≈31.2", imp)
+	}
+	if imp := p8.EfficiencyTOPsW / prime.EfficiencyTOPsW; imp < 10 {
+		t.Errorf("efficiency improvement over PRIME = %.1f, want ≥10", imp)
+	}
+	p16 := ComputeTimelyPeak(16)
+	for _, name := range []string{"ISAAC", "PipeLayer", "AtomLayer"} {
+		peer, ok := ReportedPeak(name)
+		if !ok {
+			t.Fatalf("missing peer %s", name)
+		}
+		if p16.EfficiencyTOPsW <= peer.EfficiencyTOPsW {
+			t.Errorf("TIMELY-16 efficiency does not beat %s", name)
+		}
+		if p16.DensityTOPsMM2 <= peer.DensityTOPsMM2 {
+			t.Errorf("TIMELY-16 density does not beat %s", name)
+		}
+	}
+}
+
+// TestEnergyRatiosAcrossBenchmarks: TIMELY wins on every Table III network
+// (Fig. 8(a)): all PRIME ratios > 1, order-of-magnitude geomean.
+func TestEnergyRatiosAcrossBenchmarks(t *testing.T) {
+	for _, n := range model.Benchmarks() {
+		t8, err := NewTimely(8, 1).Evaluate(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		pr, err := NewPrime(1).Evaluate(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		ratio := pr.Ledger.Total() / t8.Ledger.Total()
+		if ratio <= 1 {
+			t.Errorf("%s: PRIME/TIMELY ratio = %.2f, TIMELY must win", n.Name, ratio)
+		}
+	}
+}
+
+// TestSmallModelsBenefitLess: the paper notes CNN-1 and SqueezeNet gain less
+// because their movement energy is small; their ratio must sit below VGG-D's.
+func TestSmallModelsBenefitLess(t *testing.T) {
+	ratio := func(name string) float64 {
+		n, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t8, err := NewTimely(8, 1).Evaluate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := NewPrime(1).Evaluate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr.Ledger.Total() / t8.Ledger.Total()
+	}
+	vgg := ratio("VGG-D")
+	for _, small := range []string{"CNN-1", "SqueezeNet"} {
+		if r := ratio(small); r >= vgg {
+			t.Errorf("%s ratio %.1f not below VGG-D's %.1f (compact models gain less)", small, r, vgg)
+		}
+	}
+}
+
+// TestPrimeFitsFlag: VGG-D does not fit one PRIME chip (4230 > 1024 mats)
+// but fits 16 chips; TIMELY holds it in a single chip (Fig. 8(b)'s crossbar
+// count comparison).
+func TestPrimeFitsFlag(t *testing.T) {
+	vgg := model.VGG("D")
+	r1, err := NewPrime(1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fits {
+		t.Errorf("VGG-D reported as fitting one PRIME chip")
+	}
+	r16, err := NewPrime(16).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r16.Fits {
+		t.Errorf("VGG-D reported as not fitting 16 PRIME chips")
+	}
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t8.Fits {
+		t.Errorf("VGG-D reported as not fitting one TIMELY chip")
+	}
+}
+
+// TestEfficiencyDefinition: the achieved efficiency helper is consistent
+// with ledger totals.
+func TestEfficiencyDefinition(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := t8.EfficiencyTOPsPerWatt(vgg)
+	want := OpsPerImage(vgg) / (t8.Ledger.Total() * 1e-15) / 1e12
+	within(t, "efficiency helper", eff, want, 1e-9)
+	if eff <= 0 {
+		t.Errorf("non-positive efficiency")
+	}
+}
+
+// TestAveragePower sanity-checks the derived power figure: a single TIMELY
+// chip under VGG-D draws a physically plausible wattage.
+func TestAveragePower(t *testing.T) {
+	vgg := model.VGG("D")
+	t8, err := NewTimely(8, 1).Evaluate(vgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := t8.AveragePowerWatts()
+	if w <= 0 || w > 500 {
+		t.Errorf("average power = %.1f W, implausible for one chip", w)
+	}
+	// Consistency: power = energy/image × throughput.
+	want := t8.EnergyPerImageMJ() * 1e-3 * t8.ImagesPerSec
+	if math.Abs(w-want) > 1e-9*want {
+		t.Errorf("power helper inconsistent: %v vs %v", w, want)
+	}
+}
+
+// TestReportedPeaksComplete covers the Fig. 1(c)/Table IV peer list.
+func TestReportedPeaksComplete(t *testing.T) {
+	want := []string{"PRIME", "ISAAC", "PipeLayer", "AtomLayer", "Eyeriss"}
+	for _, name := range want {
+		if _, ok := ReportedPeak(name); !ok {
+			t.Errorf("missing reported peak for %s", name)
+		}
+	}
+	if _, ok := ReportedPeak("TPU"); ok {
+		t.Errorf("unexpected peer")
+	}
+	eyeriss, _ := ReportedPeak("Eyeriss")
+	if eyeriss.PIM {
+		t.Errorf("Eyeriss flagged as PIM")
+	}
+}

@@ -1,0 +1,136 @@
+package accel
+
+import (
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/pipeline"
+)
+
+// Isaac is the analytic ISAAC model (Shafiee et al., ISCA 2016) as the
+// TIMELY paper mimics it: 128×128 crossbars with 2-bit cells, 16-bit weights
+// over 8 columns, bit-serial 16-bit inputs (one bit per 100 ns cycle), ADCs
+// shared across the 128 columns of a crossbar, an eDRAM + input-register
+// hierarchy per tile, and a balanced inter-layer pipeline (the model the
+// paper validates its simulator's throughput against, §VI-A).
+//
+// Unit energies are calibrated to the Fig. 4(c) breakdown — analog
+// interfaces 61 %, communication 19 %, memory 12 %, digital 8 % — with the
+// VGG-D (16-bit) total anchored so TIMELY's normalized energy efficiency
+// lands at the paper's Fig. 8(a) ratios (see EXPERIMENTS.md for the
+// paper-vs-measured discussion of this anchor).
+type Isaac struct {
+	Cfg params.IsaacConfig
+}
+
+// NewIsaac returns the default ISAAC at the given chip count.
+func NewIsaac(chips int) *Isaac {
+	cfg := params.DefaultIsaac()
+	cfg.Chips = chips
+	return &Isaac{Cfg: cfg}
+}
+
+// Name implements Accelerator.
+func (s *Isaac) Name() string { return "ISAAC" }
+
+// Units returns the ISAAC unit-energy table.
+func (s *Isaac) Units() map[energy.Component]float64 {
+	return map[energy.Component]float64{
+		energy.EDRAMRead:   params.IsaacEnergyEDRAMRead,
+		energy.EDRAMWrite:  params.IsaacEnergyEDRAMRead,
+		energy.IRRead:      params.IsaacEnergyIRRead,
+		energy.DACConv:     params.IsaacEnergyDAC,
+		energy.ADCConv:     params.IsaacEnergyADC,
+		energy.CrossbarOp:  params.IsaacEnergyCrossbarOp,
+		energy.ShiftAddOp:  params.IsaacEnergyShiftAdd,
+		energy.BusOp:       params.IsaacEnergyCommPerValue,
+		energy.HyperLinkOp: params.IsaacEnergyHT,
+		energy.ReLUOp:      params.EnergyReLU,
+		energy.MaxPoolOp:   params.EnergyMaxPool,
+	}
+}
+
+// EvaluateLayer counts one weighted layer and returns its placement.
+func (s *Isaac) EvaluateLayer(l model.Layer, led *energy.Ledger) mapping.BaselinePlacement {
+	bp := mapping.PlaceBaseline(l, s.Cfg.B, s.Cfg.ColumnsPerWeight(), s.Cfg.InputBitCycles())
+	outVals := float64(l.Outputs())
+	// Inputs: each 16-bit input is fetched from eDRAM, staged in the input
+	// register, and driven onto wordlines once per crossbar replica of its
+	// rows; §III-A counts D·Z·G/S²/B such activations per input on average
+	// (the per-column-group re-reads with B-row sharing).
+	perInput := float64(l.D) * float64(l.Z*l.G) / float64(l.S*l.S) / float64(s.Cfg.B)
+	if l.Kind == model.KindFC {
+		perInput = float64(l.D) * float64(s.Cfg.ColumnsPerWeight()) / float64(s.Cfg.B)
+	}
+	if perInput < 1 {
+		perInput = 1
+	}
+	nIn := float64(l.Inputs()) * perInput
+	led.Add(energy.EDRAMRead, energy.ClassInput, nIn)
+	led.Add(energy.IRRead, energy.ClassInput, nIn)
+	led.Add(energy.DACConv, energy.ClassInput, nIn)
+	// Inputs traverse the tile network to reach their crossbar replicas.
+	led.Add(energy.BusOp, energy.ClassComm, nIn)
+	// ADC: the 8 columns of one 16-bit weight are sampled on each of the 16
+	// input-bit cycles, per vertical row chunk: 128 conversions per output
+	// value per chunk.
+	adc := outVals * float64(s.Cfg.ColumnsPerWeight()*s.Cfg.InputBitCycles()) * float64(bp.RowChunks)
+	led.Add(energy.ADCConv, energy.ClassPsum, adc)
+	led.Add(energy.ShiftAddOp, energy.ClassDigital, adc)
+	// Crossbar activations: every chunk fires on every bit cycle.
+	led.Add(energy.CrossbarOp, energy.ClassCompute,
+		float64(bp.WavesPerImage)*float64(bp.Crossbars))
+	// Outputs: written back to eDRAM and moved across the tile network.
+	led.Add(energy.EDRAMWrite, energy.ClassOutput, outVals)
+	led.Add(energy.BusOp, energy.ClassComm, outVals)
+	led.Add(energy.ReLUOp, energy.ClassDigital, outVals)
+	return bp
+}
+
+// Evaluate implements Accelerator.
+func (s *Isaac) Evaluate(n *model.Network) (*Result, error) {
+	led := energy.NewLedger(s.Units())
+	var stages []pipeline.Stage
+	for _, l := range n.Layers {
+		switch {
+		case l.IsWeighted():
+			bp := s.EvaluateLayer(l, led)
+			stages = append(stages, pipeline.Stage{
+				Name: l.Name,
+				// One 16-bit MAC wave occupies 22 cycles end to end (§VI-B),
+				// of which InputBitCycles are already inside WavesPerImage;
+				// the remaining conversion/merge cycles stretch each wave.
+				Work: float64(bp.WavesPerImage) *
+					float64(s.Cfg.MACLatencyCycles) / float64(s.Cfg.InputBitCycles()),
+				MinUnits: bp.Crossbars,
+			})
+		case l.Kind == model.KindMaxPool || l.Kind == model.KindAvgPool:
+			led.Add(energy.MaxPoolOp, energy.ClassDigital, float64(l.Outputs()))
+		}
+	}
+	total := s.Cfg.Chips * s.Cfg.Crossbars
+	fits := true
+	inst, err := pipeline.Balance(stages, total)
+	if err != nil {
+		// The deployment cannot hold the whole network: run unreplicated
+		// with reloads (energy stays valid; throughput optimistic).
+		fits = false
+		inst = make([]int, len(stages))
+		for i := range inst {
+			inst[i] = 1
+		}
+	}
+	cycles := pipeline.BottleneckCycles(stages, inst)
+	return &Result{
+		Accelerator:    s.Name(),
+		Network:        n.Name,
+		Ledger:         led,
+		CyclesPerImage: cycles,
+		CycleTimePS:    s.Cfg.CycleTime,
+		ImagesPerSec:   pipeline.Throughput(cycles, s.Cfg.CycleTime),
+		Chips:          s.Cfg.Chips,
+		Instances:      inst,
+		Fits:           fits,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package accel
+
+import (
+	"repro/internal/area"
+	"repro/internal/energy"
+	"repro/internal/params"
+)
+
+// TIMELY peak metrics from first principles (Table IV rows "TIMELY a/b").
+// Peak throughput assumes every crossbar cell contributes a MAC each
+// pipeline wave; peak power charges every sub-chip component at its
+// steady-state activity for a dense (FC-like) workload, where each wave
+// consumes a fresh 4096-row input vector and emits 3072 column samples.
+
+// TimelyPeak holds computed peak metrics for one precision.
+type TimelyPeak struct {
+	OpBits int
+	// EfficiencyTOPsW counts one MAC as one operation (paper convention).
+	EfficiencyTOPsW float64
+	// DensityTOPsMM2 is peak MACs/s per mm² of chip area.
+	DensityTOPsMM2 float64
+	// PowerWatts is the implied peak chip power.
+	PowerWatts float64
+}
+
+// subChipCycleEnergy returns the energy (fJ) one fully active sub-chip
+// spends per pipeline cycle at the given precision.
+func subChipCycleEnergy(cfg params.TimelyConfig) float64 {
+	led := energy.NewLedger((&Timely{Cfg: cfg}).Units())
+	rows := float64(cfg.RowCapacity())
+	cols := float64(cfg.ColCapacity())
+	outs := cols / float64(cfg.ColumnsPerWeight())
+	// Dense steady state: fresh inputs stream every cycle (worst case for
+	// the buffers); outputs drain every cycle.
+	led.Add(energy.L1Read, energy.ClassInput, rows)
+	led.Add(energy.DTCConv, energy.ClassInput, rows)
+	led.Add(energy.XSubBufOp, energy.ClassInput, float64(params.CountXSubBuf))
+	led.Add(energy.CrossbarOp, energy.ClassCompute, float64(cfg.CrossbarsPerSubChip()))
+	led.Add(energy.PSubBufOp, energy.ClassPsum, float64(params.CountPSubBuf))
+	led.Add(energy.IAdderOp, energy.ClassPsum, cols)
+	led.Add(energy.ChargingOp, energy.ClassPsum, cols)
+	led.Add(energy.TDCConv, energy.ClassPsum, cols)
+	led.Add(energy.ShiftAddOp, energy.ClassDigital, cols)
+	led.Add(energy.ReLUOp, energy.ClassDigital, outs)
+	led.Add(energy.L1Write, energy.ClassOutput, outs)
+	return led.Total()
+}
+
+// ComputeTimelyPeak derives the Table IV TIMELY row for the given precision.
+func ComputeTimelyPeak(bits int) TimelyPeak {
+	cfg := params.DefaultTimely(bits)
+	macsPerSec := cfg.PeakMACsPerSecond()
+	// Energy per second: per-cycle sub-chip energy × cycles/s × sub-chips.
+	cyclesPerSec := 1e12 / cfg.CycleTime()
+	watts := subChipCycleEnergy(cfg) * 1e-15 * cyclesPerSec * float64(cfg.SubChips)
+	chipAreaMM2 := area.ChipArea(cfg.SubChips) / 1e6
+	return TimelyPeak{
+		OpBits:          bits,
+		EfficiencyTOPsW: macsPerSec / watts / 1e12,
+		DensityTOPsMM2:  macsPerSec / 1e12 / chipAreaMM2,
+		PowerWatts:      watts,
+	}
+}

@@ -1,0 +1,44 @@
+package accel
+
+// Published peak numbers of the accelerators the paper compares against
+// without re-simulating (Table IV and Fig. 1(c)): "the performance data of
+// the baselines are the ones reported in their corresponding papers"
+// (§VI-A). TIMELY's own peaks are computed from first principles in peak.go.
+
+// PeakSpec is one accelerator's published peak operating point.
+type PeakSpec struct {
+	Name string
+	// OpBits is the MAC precision of the reported numbers (8 or 16).
+	OpBits int
+	// EfficiencyTOPsW is peak energy efficiency in TOPs/W.
+	EfficiencyTOPsW float64
+	// DensityTOPsMM2 is peak computational density in TOPs/(s·mm²).
+	DensityTOPsMM2 float64
+	// PIM reports whether the design computes in memory.
+	PIM bool
+}
+
+// ReportedPeaks returns the Table IV baselines plus Eyeriss (Fig. 1(c)).
+func ReportedPeaks() []PeakSpec {
+	return []PeakSpec{
+		// Table IV (a: 8-bit MAC, b: 16-bit MAC).
+		{Name: "PRIME", OpBits: 8, EfficiencyTOPsW: 2.10, DensityTOPsMM2: 1.23, PIM: true},
+		{Name: "ISAAC", OpBits: 16, EfficiencyTOPsW: 0.38, DensityTOPsMM2: 0.48, PIM: true},
+		{Name: "PipeLayer", OpBits: 16, EfficiencyTOPsW: 0.14, DensityTOPsMM2: 1.49, PIM: true},
+		{Name: "AtomLayer", OpBits: 16, EfficiencyTOPsW: 0.68, DensityTOPsMM2: 0.48, PIM: true},
+		// Eyeriss (Chen et al., ISCA 2016), the non-PIM reference of
+		// Fig. 1(c): 16-bit MACs, ~33.6 GOPS at ~278 mW on a 12.25 mm²
+		// 65 nm die (chip area excluding off-chip DRAM).
+		{Name: "Eyeriss", OpBits: 16, EfficiencyTOPsW: 0.12, DensityTOPsMM2: 0.0027, PIM: false},
+	}
+}
+
+// ReportedPeak returns the named baseline's peak, or false.
+func ReportedPeak(name string) (PeakSpec, bool) {
+	for _, p := range ReportedPeaks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PeakSpec{}, false
+}

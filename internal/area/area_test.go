@@ -1,0 +1,102 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestSubChipAreaMatchesTableII(t *testing.T) {
+	// Table II: one sub-chip totals 0.86 mm² = 0.86e6 µm².
+	got := SubChipArea()
+	if math.Abs(got-0.86e6)/0.86e6 > 0.01 {
+		t.Errorf("sub-chip area = %.0f µm², want ≈0.86e6 (Table II)", got)
+	}
+}
+
+func TestChipAreaMatchesTableII(t *testing.T) {
+	// Table II: 106 sub-chips total 91 mm².
+	got := ChipArea(params.SubChipsPerChip)
+	if math.Abs(got-91e6)/91e6 > 0.01 {
+		t.Errorf("chip area = %.0f µm², want ≈91e6 (Table II)", got)
+	}
+}
+
+func TestBreakdownMatchesFig10b(t *testing.T) {
+	// Fig. 10(b): X-subBuf 28.5 %, P-subBuf 26.7 %, DTC 14.2 %, charging
+	// 14.2 %, TDC 13.8 %, ReRAM 2.2 %.
+	want := map[string]float64{
+		"X-subBuf":            0.285,
+		"P-subBuf":            0.267,
+		"DTC":                 0.142,
+		"charging+comparator": 0.142,
+		"TDC":                 0.138,
+		"ReRAM crossbar":      0.022,
+	}
+	got := map[string]float64{}
+	for _, s := range Breakdown() {
+		got[s.Name] = s.Fraction
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("breakdown missing %s", name)
+			continue
+		}
+		if math.Abs(g-w) > 0.005 {
+			t.Errorf("%s share = %.3f, want %.3f (Fig. 10(b))", name, g, w)
+		}
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	s := 0.0
+	for _, sh := range Breakdown() {
+		if sh.Fraction < 0 {
+			t.Errorf("negative share for %s", sh.Name)
+		}
+		s += sh.Fraction
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("breakdown sums to %v, want 1", s)
+	}
+}
+
+func TestBreakdownSorted(t *testing.T) {
+	b := Breakdown()
+	for i := 1; i < len(b); i++ {
+		if b[i].Fraction > b[i-1].Fraction {
+			t.Errorf("breakdown not sorted at %d", i)
+		}
+	}
+	if b[0].Name != "X-subBuf" {
+		t.Errorf("largest share = %s, want X-subBuf (Fig. 10(b))", b[0].Name)
+	}
+}
+
+func TestReRAMShares(t *testing.T) {
+	// Fig. 10(a): TIMELY 2.2 %, ISAAC ≈0.4 %, PRIME ≈0; TIMELY ≈5.5× ISAAC.
+	timely := ReRAMShareTimely()
+	if math.Abs(timely-0.022) > 0.002 {
+		t.Errorf("TIMELY ReRAM share = %.4f, want ≈0.022", timely)
+	}
+	isaac := ReRAMShareIsaac(params.DefaultIsaac().Crossbars)
+	if isaac < 0.003 || isaac > 0.006 {
+		t.Errorf("ISAAC ReRAM share = %.4f, want ≈0.004", isaac)
+	}
+	prime := ReRAMSharePrime(params.DefaultPrime().Crossbars)
+	if prime > 0.002 {
+		t.Errorf("PRIME ReRAM share = %.4f, want ≈0", prime)
+	}
+	if ratio := timely / isaac; ratio < 4 || ratio > 7 {
+		t.Errorf("TIMELY/ISAAC ReRAM share ratio = %.1f, want ≈5.5 (Fig. 10(a))", ratio)
+	}
+}
+
+func TestItemTotals(t *testing.T) {
+	it := Item{"x", 3, 2.5}
+	if it.Total() != 7.5 {
+		t.Errorf("Item.Total = %v", it.Total())
+	}
+}

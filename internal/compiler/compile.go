@@ -1,0 +1,116 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/params"
+)
+
+// OpCode enumerates controller commands (§IV-F: weight mapping and input
+// data-path configuration).
+type OpCode int
+
+const (
+	// OpWriteWeights programs one layer's weights into a sub-chip.
+	OpWriteWeights OpCode = iota
+	// OpConfigInputPath wires a sub-chip's DTC inputs to a source layer's
+	// outputs (or the chip input for the first layer).
+	OpConfigInputPath
+	// OpConfigPooling routes a sub-chip's outputs through the pooling unit.
+	OpConfigPooling
+	// OpSetScale programs the per-layer charging full-scale (the Rmin
+	// choice of §IV-C) as a requantisation shift.
+	OpSetScale
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpWriteWeights:
+		return "write-weights"
+	case OpConfigInputPath:
+		return "config-input-path"
+	case OpConfigPooling:
+		return "config-pooling"
+	case OpSetScale:
+		return "set-scale"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Command is one controller instruction.
+type Command struct {
+	Op OpCode
+	// Layer names the network layer the command serves.
+	Layer string
+	// SubChip is the target sub-chip index (-1 for chip-level commands).
+	SubChip int
+	// Source names the producing layer for input-path commands ("" = chip
+	// input).
+	Source string
+	// Arg carries the op-specific parameter (pool kernel, scale shift, ...).
+	Arg int
+}
+
+// Program is the compiled command stream plus its resource summary.
+type Program struct {
+	Network  *model.Network
+	Commands []Command
+	// Assignments maps weighted-layer name to its sub-chip index.
+	Assignments map[string]int
+	// Placements holds the O2IR placement per weighted layer, in order.
+	Placements []mapping.Placement
+	// SubChips is the number of sub-chips the program occupies.
+	SubChips int
+}
+
+// Compile lowers a network onto TIMELY sub-chips: every weighted layer gets
+// an O2IR placement and a sub-chip assignment (functional single-sub-chip
+// granularity: one sub-chip per weighted layer, matching the §IV-E
+// "layer by layer weight mapping strategy"), plus the data-path commands
+// chaining layers together. It rejects layers whose single instance exceeds
+// one sub-chip when strict is true.
+func Compile(n *model.Network, cfg params.TimelyConfig, strict bool) (*Program, error) {
+	p := &Program{Network: n, Assignments: map[string]int{}}
+	next := 0
+	prevWeighted := ""
+	var pendingPool []model.Layer
+	for _, l := range n.Layers {
+		switch {
+		case l.IsWeighted():
+			pl := mapping.PlaceO2IR(l, cfg)
+			if strict && pl.SubChips > 1 {
+				return nil, fmt.Errorf("compiler: layer %s needs %d sub-chips (rows %d, cols %d); strict mode maps one layer per sub-chip",
+					l.Name, pl.SubChips, pl.Rows, l.D*pl.PhysColsPerWeight)
+			}
+			sc := next
+			next += pl.SubChips
+			p.Assignments[l.Name] = sc
+			p.Placements = append(p.Placements, pl)
+			p.Commands = append(p.Commands,
+				Command{Op: OpWriteWeights, Layer: l.Name, SubChip: sc},
+				Command{Op: OpConfigInputPath, Layer: l.Name, SubChip: sc, Source: prevWeighted},
+				Command{Op: OpSetScale, Layer: l.Name, SubChip: sc},
+			)
+			// Attach any pooling that preceded this layer to its input path.
+			for _, pool := range pendingPool {
+				p.Commands = append(p.Commands, Command{
+					Op: OpConfigPooling, Layer: l.Name, SubChip: sc, Arg: pool.Z,
+				})
+			}
+			pendingPool = nil
+			prevWeighted = l.Name
+		case l.Kind == model.KindMaxPool || l.Kind == model.KindAvgPool:
+			pendingPool = append(pendingPool, l)
+		}
+	}
+	// Trailing pool layers route the final outputs.
+	for _, pool := range pendingPool {
+		p.Commands = append(p.Commands, Command{
+			Op: OpConfigPooling, Layer: prevWeighted, SubChip: p.Assignments[prevWeighted], Arg: pool.Z,
+		})
+	}
+	p.SubChips = next
+	return p, nil
+}

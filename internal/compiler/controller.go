@@ -1,0 +1,272 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Weights carries a network's pre-trained integer weights, keyed by layer
+// name: conv layers as filter banks, FC layers as dense matrices over the
+// flattened input.
+type Weights struct {
+	Conv map[string]*tensor.Filter
+	FC   map[string][][]int
+}
+
+// Controller executes a compiled program on functional TIMELY sub-chips:
+// it writes weights to the mapped addresses, configures the input paths
+// (§IV-F) and then runs inference layer by layer through the analog
+// datapath, requantising between layers with calibrated shifts.
+type Controller struct {
+	prog   *Program
+	opt    core.Options
+	mapped map[string]*core.MappedLayer
+	shifts map[string]int
+}
+
+// NewController prepares a controller for the program with the given
+// functional-simulation options (noise, interface bits, ledger).
+func NewController(prog *Program, opt core.Options) *Controller {
+	return &Controller{
+		prog:   prog,
+		opt:    opt,
+		mapped: map[string]*core.MappedLayer{},
+		shifts: map[string]int{},
+	}
+}
+
+// LoadWeights executes the program's write-weights commands: every weighted
+// layer is programmed onto its own functional sub-chip.
+func (c *Controller) LoadWeights(w Weights) error {
+	for _, cmd := range c.prog.Commands {
+		if cmd.Op != OpWriteWeights {
+			continue
+		}
+		layer, ok := c.layerByName(cmd.Layer)
+		if !ok {
+			return fmt.Errorf("compiler: command for unknown layer %q", cmd.Layer)
+		}
+		var dense [][]int
+		switch layer.Kind {
+		case model.KindConv:
+			f, ok := w.Conv[cmd.Layer]
+			if !ok {
+				return fmt.Errorf("compiler: missing conv weights for %q", cmd.Layer)
+			}
+			if f.D != layer.D || f.C != layer.C || f.Z != layer.Z || f.G != layer.G {
+				return fmt.Errorf("compiler: weights for %q are %dx%dx%dx%d, layer wants %dx%dx%dx%d",
+					cmd.Layer, f.D, f.C, f.Z, f.G, layer.D, layer.C, layer.Z, layer.G)
+			}
+			dense = core.FlattenFilter(f)
+		case model.KindFC:
+			m, ok := w.FC[cmd.Layer]
+			if !ok {
+				return fmt.Errorf("compiler: missing fc weights for %q", cmd.Layer)
+			}
+			dense = m
+		}
+		sc := core.NewSubChip(c.opt)
+		mapped, err := sc.MapDense(dense)
+		if err != nil {
+			return fmt.Errorf("compiler: programming %q: %w", cmd.Layer, err)
+		}
+		c.mapped[cmd.Layer] = mapped
+	}
+	return nil
+}
+
+// Calibrate runs the samples through the pipeline, sizing each layer's
+// requantisation shift so its largest observed psum fits the 8-bit input
+// code range of the next layer (the per-layer scale of §IV-C).
+func (c *Controller) Calibrate(samples ...*tensor.Int) error {
+	if len(c.mapped) == 0 {
+		return fmt.Errorf("compiler: calibrate before LoadWeights")
+	}
+	for name := range c.shifts {
+		delete(c.shifts, name)
+	}
+	for _, s := range samples {
+		if _, err := c.forward(s, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes one inference and returns the final layer's raw psums.
+func (c *Controller) Run(in *tensor.Int) ([]int, error) {
+	if len(c.mapped) == 0 {
+		return nil, fmt.Errorf("compiler: run before LoadWeights")
+	}
+	return c.forward(in, false)
+}
+
+// Classify returns the argmax of Run.
+func (c *Controller) Classify(in *tensor.Int) (int, error) {
+	out, err := c.Run(in)
+	if err != nil {
+		return 0, err
+	}
+	best, bi := out[0], 0
+	for i, v := range out {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi, nil
+}
+
+func (c *Controller) layerByName(name string) (model.Layer, bool) {
+	for _, l := range c.prog.Network.Layers {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return model.Layer{}, false
+}
+
+// forward walks the network. In calibrate mode it grows the per-layer
+// shifts to cover the observed psum maxima.
+func (c *Controller) forward(in *tensor.Int, calibrate bool) ([]int, error) {
+	cur := in
+	var lastVec []int
+	weighted := c.prog.Network.WeightedLayers()
+	for _, l := range c.prog.Network.Layers {
+		switch l.Kind {
+		case model.KindConv:
+			m := c.mapped[l.Name]
+			if m == nil {
+				return nil, fmt.Errorf("compiler: layer %q not programmed", l.Name)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("compiler: conv %q after flattening", l.Name)
+			}
+			cols, e, f := tensor.Im2Col(cur, l.Z, l.G, l.S, l.Pad)
+			raw := make([][]int, l.D)
+			for d := range raw {
+				raw[d] = make([]int, e*f)
+			}
+			inputs := make([]int, len(cols))
+			for p := 0; p < e*f; p++ {
+				for r := range cols {
+					inputs[r] = int(cols[r][p])
+				}
+				psums, err := m.Compute(inputs)
+				if err != nil {
+					return nil, err
+				}
+				for d, v := range psums {
+					raw[d][p] = v
+				}
+			}
+			last := l.Name == weighted[len(weighted)-1].Name
+			if last {
+				lastVec = flatten(raw)
+				cur = nil
+				break
+			}
+			sh := c.shiftFor(l.Name, raw, calibrate)
+			out := tensor.NewInt(l.D, e, f)
+			for d := range raw {
+				for p, v := range raw[d] {
+					out.Data[d*e*f+p] = int32(requantCode(v, sh))
+				}
+			}
+			cur = out
+		case model.KindFC:
+			m := c.mapped[l.Name]
+			if m == nil {
+				return nil, fmt.Errorf("compiler: layer %q not programmed", l.Name)
+			}
+			var inputs []int
+			if cur != nil {
+				inputs = make([]int, len(cur.Data))
+				for i, v := range cur.Data {
+					inputs[i] = int(v)
+				}
+				cur = nil
+			} else {
+				inputs = lastVec
+			}
+			psums, err := m.Compute(inputs)
+			if err != nil {
+				return nil, err
+			}
+			if l.Name == weighted[len(weighted)-1].Name {
+				lastVec = psums
+				break
+			}
+			sh := c.shiftFor(l.Name, [][]int{psums}, calibrate)
+			next := make([]int, len(psums))
+			for i, v := range psums {
+				next[i] = requantCode(v, sh)
+			}
+			lastVec = next
+		case model.KindMaxPool:
+			cur = tensor.MaxPool2D(padded(cur, l.Pad), l.Z, l.S)
+		case model.KindAvgPool:
+			cur = tensor.AvgPool2D(padded(cur, l.Pad), l.Z, l.S)
+		}
+	}
+	return lastVec, nil
+}
+
+// shiftFor returns (and in calibrate mode grows) the requantisation shift
+// of a layer so that max(psum)>>shift ≤ 255.
+func (c *Controller) shiftFor(name string, raw [][]int, calibrate bool) int {
+	if !calibrate {
+		return c.shifts[name]
+	}
+	max := 0
+	for _, row := range raw {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	sh := c.shifts[name]
+	for max>>uint(sh) > 255 {
+		sh++
+	}
+	c.shifts[name] = sh
+	return sh
+}
+
+func requantCode(v, sh int) int {
+	v >>= uint(sh)
+	if v < 0 {
+		return 0 // folded ReLU
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+func flatten(rows [][]int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// padded zero-pads a tensor symmetrically (pooling with padding).
+func padded(t *tensor.Int, pad int) *tensor.Int {
+	if pad == 0 {
+		return t
+	}
+	out := tensor.NewInt(t.Shape.C, t.Shape.H+2*pad, t.Shape.W+2*pad)
+	for c := 0; c < t.Shape.C; c++ {
+		for h := 0; h < t.Shape.H; h++ {
+			for w := 0; w < t.Shape.W; w++ {
+				out.Set(c, h+pad, w+pad, t.At(c, h, w))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package compiler implements the software-hardware interface of §IV-F:
+// an NN parser that extracts model parameters from a textual description, a
+// compiler that lowers the network onto TIMELY sub-chips (weight-mapping and
+// input-datapath commands, O2IR placement), and a controller that loads the
+// command stream onto functional sub-chips and executes inference.
+//
+// The paper describes three stages — "the CNN/DNN is loaded into an NN
+// parser that automatically extracts model parameters"; "a compiler
+// optimizes mapping strategies ... and generates execution commands"; "the
+// controller loads the commands ... to (1) write pre-trained weights to the
+// mapped addresses, and (2) configure peripheral circuits for setting up
+// input paths" — each of which has a direct counterpart here.
+package compiler
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Parse reads the textual network description format:
+//
+//	# comments and blank lines are ignored
+//	input <channels> <height> <width>
+//	conv <name> d=<filters> k=<kernel> [s=<stride>] [p=<pad>]
+//	maxpool k=<kernel> [s=<stride>] [p=<pad>]
+//	avgpool k=<kernel> [s=<stride>] [p=<pad>]
+//	fc <name> d=<units>
+//
+// The first non-comment line must be the input declaration.
+func Parse(name, src string) (*model.Network, error) {
+	var b *model.Builder
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := fields[0]
+		if b == nil {
+			if op != "input" {
+				return nil, fmt.Errorf("compiler: line %d: first directive must be input, got %q", lineNo, op)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("compiler: line %d: input wants 3 dims", lineNo)
+			}
+			dims, err := parseInts(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("compiler: line %d: %w", lineNo, err)
+			}
+			b = model.NewBuilder(name, dims[0], dims[1], dims[2])
+			continue
+		}
+		switch op {
+		case "input":
+			return nil, fmt.Errorf("compiler: line %d: duplicate input directive", lineNo)
+		case "conv":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("compiler: line %d: conv wants a name and parameters", lineNo)
+			}
+			kv, err := parseKV(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("compiler: line %d: %w", lineNo, err)
+			}
+			d, k := kv["d"], kv["k"]
+			if d <= 0 || k <= 0 {
+				return nil, fmt.Errorf("compiler: line %d: conv needs d>0 and k>0", lineNo)
+			}
+			s := orDefault(kv, "s", 1)
+			p := orDefault(kv, "p", 0)
+			b.Conv(fields[1], d, k, s, p)
+		case "maxpool", "avgpool":
+			kv, err := parseKV(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("compiler: line %d: %w", lineNo, err)
+			}
+			k := kv["k"]
+			if k <= 0 {
+				return nil, fmt.Errorf("compiler: line %d: %s needs k>0", lineNo, op)
+			}
+			s := orDefault(kv, "s", k)
+			p := orDefault(kv, "p", 0)
+			if op == "maxpool" {
+				b.MaxPool(k, s, p)
+			} else {
+				b.AvgPool(k, s, p)
+			}
+		case "fc":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("compiler: line %d: fc wants a name and d=", lineNo)
+			}
+			kv, err := parseKV(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("compiler: line %d: %w", lineNo, err)
+			}
+			if kv["d"] <= 0 {
+				return nil, fmt.Errorf("compiler: line %d: fc needs d>0", lineNo)
+			}
+			b.FC(fields[1], kv["d"])
+		default:
+			return nil, fmt.Errorf("compiler: line %d: unknown directive %q", lineNo, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("compiler: empty network description")
+	}
+	return b.Build(), nil
+}
+
+func parseInts(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseKV(fields []string) (map[string]int, error) {
+	kv := map[string]int{}
+	for _, f := range fields {
+		parts := strings.SplitN(f, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad parameter %q (want key=value)", f)
+		}
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", f)
+		}
+		kv[parts[0]] = v
+	}
+	return kv, nil
+}
+
+func orDefault(kv map[string]int, key string, def int) int {
+	if v, ok := kv[key]; ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,363 @@
+// Package core is the functional model of the paper's primary contribution:
+// a TIMELY sub-chip executing convolutions and fully-connected layers
+// through the complete analog time-domain path of Fig. 6 — DTC conversion,
+// X-subBuf input propagation, ReRAM crossbar dot products, P-subBuf current
+// mirroring, I-adder aggregation across the vertical crossbar stack, the
+// two-phase charging + comparator stage (Eq. 2), TDC quantisation and the
+// digital shift-and-add recombination — while writing every operation into
+// the energy ledger with O2IR access counting (each input read and converted
+// exactly once).
+//
+// The functional executor is validated two ways: in ideal-interface mode
+// (wide TDC, no noise) it is bit-exact against the integer reference of
+// package tensor; in the 8-bit Table II mode its quantisation error is
+// bounded by the per-layer scale, and the accuracy experiment measures the
+// end-to-end effect together with injected circuit noise.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/analog"
+	"repro/internal/energy"
+	"repro/internal/params"
+	"repro/internal/reram"
+)
+
+// Options configure a functional sub-chip.
+type Options struct {
+	// Config selects the architecture geometry and precision.
+	Config params.TimelyConfig
+	// Noise injects circuit errors; nil is ideal.
+	Noise *analog.Noise
+	// Ledger receives operation counts; nil disables accounting.
+	Ledger *energy.Ledger
+	// InterfaceBits overrides the DTC/TDC resolution for the *psum* path
+	// (0 keeps the Table II 8 bits). Widening it to ≥ 20 gives the
+	// ideal-interface verification mode.
+	InterfaceBits int
+	// InputHops prepends a cascade of X-subBuf copies to every input before
+	// it reaches the first crossbar, modelling a layer mapped at the far end
+	// of the horizontal buffer chain (§V limits this cascade to 12; the
+	// accuracy study evaluates the worst case).
+	InputHops int
+}
+
+// SubChip is the functional model of one TIMELY sub-chip.
+type SubChip struct {
+	cfg       params.TimelyConfig
+	noise     *analog.Noise
+	ledger    *energy.Ledger
+	ifBits    int
+	inputHops int
+
+	grid []*reram.Crossbar // GridRows × GridCols, row-major
+	dtc  analog.DTC
+	tdc  analog.TDC
+	xbuf analog.XSubBuf
+	pbuf analog.PSubBuf
+	iadd analog.IAdder
+}
+
+// NewSubChip builds an erased sub-chip.
+func NewSubChip(opt Options) *SubChip {
+	cfg := opt.Config
+	if cfg.B == 0 {
+		cfg = params.DefaultTimely(8)
+	}
+	ifBits := opt.InterfaceBits
+	if ifBits == 0 {
+		ifBits = params.DTCBits
+	}
+	s := &SubChip{
+		cfg:       cfg,
+		noise:     opt.Noise,
+		ledger:    opt.Ledger,
+		ifBits:    ifBits,
+		inputHops: opt.InputHops,
+		grid:      make([]*reram.Crossbar, cfg.GridRows*cfg.GridCols),
+		dtc:       analog.DTC{Bits: params.DTCBits, TDel: params.TDel},
+		tdc:       analog.TDC{Bits: ifBits, TDel: params.TDel},
+	}
+	for i := range s.grid {
+		s.grid[i] = reram.New(cfg.B, cfg.CellBits)
+	}
+	return s
+}
+
+// Config returns the sub-chip's architecture configuration.
+func (s *SubChip) Config() params.TimelyConfig { return s.cfg }
+
+// Crossbar returns the array at grid position (row, col).
+func (s *SubChip) Crossbar(row, col int) *reram.Crossbar {
+	return s.grid[row*s.cfg.GridCols+col]
+}
+
+// ApplyDeviceVariation draws per-cell conductance errors on every crossbar.
+func (s *SubChip) ApplyDeviceVariation(sigma float64) {
+	if s.noise == nil || s.noise.RNG == nil {
+		return
+	}
+	for _, x := range s.grid {
+		x.ApplyVariation(sigma, s.noise.RNG)
+	}
+}
+
+// ApplyIRDrop configures wire-resistance attenuation on every crossbar
+// (see reram.SetIRDrop). Apply before MapDense so the per-layer scale is
+// chosen against the attenuated conductances seen at compute time.
+func (s *SubChip) ApplyIRDrop(alpha float64) {
+	for _, x := range s.grid {
+		x.SetIRDrop(alpha)
+	}
+}
+
+// InjectFaults pins a fraction of every crossbar's cells as stuck-at faults
+// (half SA0, half SA1). Call before MapDense: stuck cells ignore later
+// programming, and MapDense reads the array back so its per-layer scale
+// covers the faulted conductances. Requires a noise RNG.
+func (s *SubChip) InjectFaults(rate float64) (reram.FaultMap, error) {
+	if s.noise == nil || s.noise.RNG == nil {
+		return reram.FaultMap{}, fmt.Errorf("core: fault injection needs Options.Noise with an RNG")
+	}
+	var total reram.FaultMap
+	for _, x := range s.grid {
+		fm, err := x.InjectStuckFaults(rate, s.noise.RNG)
+		if err != nil {
+			return reram.FaultMap{}, err
+		}
+		total.SA0 += fm.SA0
+		total.SA1 += fm.SA1
+	}
+	return total, nil
+}
+
+func (s *SubChip) add(c energy.Component, cl energy.Class, n float64) {
+	if s.ledger != nil {
+		s.ledger.Add(c, cl, n)
+	}
+}
+
+// armsPerWeight is the differential signed scheme's column-group factor.
+const armsPerWeight = 2
+
+// MappedLayer is one weighted layer programmed onto a sub-chip with the
+// differential signed scheme: each output channel owns two sub-ranged column
+// groups (positive and negative magnitudes).
+type MappedLayer struct {
+	sc *SubChip
+	// Rows is the dot-product depth.
+	Rows int
+	// D is the output channel count.
+	D int
+	// ScaleShift is the per-layer power-of-two scale k: one TDC LSB
+	// represents 2^k dot units (the per-layer Rmin choice of §IV-C).
+	ScaleShift int
+	// gridRowsUsed / gridColsUsed: the crossbar grid extent in use.
+	gridRowsUsed, gridColsUsed int
+	// colsPerArm is the nibble-column count of one magnitude group.
+	colsPerArm int
+}
+
+// physColsPerWeight returns the physical bit-cell columns one weight
+// occupies under the differential scheme.
+func (m *MappedLayer) physColsPerWeight() int { return armsPerWeight * m.colsPerArm }
+
+// MapDense programs a dense weight matrix weights[d][r] (signed codes of
+// cfg.WeightBits width) onto the sub-chip. rows = len(weights[0]) must fit
+// the sub-chip's row capacity and D·2·colsPerArm its column capacity.
+func (s *SubChip) MapDense(weights [][]int) (*MappedLayer, error) {
+	if len(weights) == 0 || len(weights[0]) == 0 {
+		return nil, fmt.Errorf("core: empty weight matrix")
+	}
+	d, rows := len(weights), len(weights[0])
+	cfg := s.cfg
+	if rows > cfg.RowCapacity() {
+		return nil, fmt.Errorf("core: %d rows exceed sub-chip capacity %d", rows, cfg.RowCapacity())
+	}
+	colsPerArm := cfg.ColumnsPerWeight()
+	physCols := d * armsPerWeight * colsPerArm
+	if physCols > cfg.ColCapacity() {
+		return nil, fmt.Errorf("core: %d physical columns exceed capacity %d", physCols, cfg.ColCapacity())
+	}
+	lim := int(1) << (cfg.WeightBits - 1)
+	m := &MappedLayer{
+		sc:           s,
+		Rows:         rows,
+		D:            d,
+		colsPerArm:   colsPerArm,
+		gridRowsUsed: (rows + cfg.B - 1) / cfg.B,
+		gridColsUsed: (physCols + cfg.B - 1) / cfg.B,
+	}
+	// Program cells and track the worst-case per-column level sum for the
+	// per-layer scale choice.
+	maxColSum := 0
+	colSums := make(map[int]int)
+	for di, wrow := range weights {
+		if len(wrow) != rows {
+			return nil, fmt.Errorf("core: ragged weight matrix at channel %d", di)
+		}
+		for r, w := range wrow {
+			if w < -lim || w >= lim {
+				return nil, fmt.Errorf("core: weight %d out of %d-bit range", w, cfg.WeightBits)
+			}
+			mag, arm := w, 0
+			if w < 0 {
+				mag, arm = -w, 1
+			}
+			for nib := 0; nib < colsPerArm; nib++ {
+				shift := uint(cfg.CellBits * (colsPerArm - 1 - nib))
+				level := uint8(mag >> shift & (int(1)<<cfg.CellBits - 1))
+				gcol := m.globalCol(di, arm, nib)
+				gr, lr := r/cfg.B, r%cfg.B
+				gc, lc := gcol/cfg.B, gcol%cfg.B
+				if err := s.Crossbar(gr, gc).Program(lr, lc, level); err != nil {
+					return nil, err
+				}
+				// Read the actual level back: stuck-at cells keep their
+				// pinned value, and the per-layer scale must cover it.
+				actual := s.Crossbar(gr, gc).Level(lr, lc)
+				if actual > 0 {
+					colSums[gcol] += int(actual)
+					if colSums[gcol] > maxColSum {
+						maxColSum = colSums[gcol]
+					}
+				}
+			}
+		}
+	}
+	// Per-layer scale: the largest column dot is 255·maxColSum (full-scale
+	// inputs into the heaviest column); one TDC LSB covers 2^k dot units so
+	// the charging unit never saturates.
+	maxCode := int(1)<<s.ifBits - 1
+	m.ScaleShift = 0
+	if maxColSum > 0 {
+		worst := 255 * maxColSum
+		for worst > maxCode<<m.ScaleShift {
+			m.ScaleShift++
+		}
+	}
+	return m, nil
+}
+
+func (m *MappedLayer) globalCol(d, arm, nib int) int {
+	return (d*armsPerWeight+arm)*m.colsPerArm + nib
+}
+
+// Compute runs one dot-product wave: the input codes (one per row,
+// 0..255) flow through the full analog path and the method returns the D
+// signed psums in dot units (already rescaled by 2^ScaleShift). Accounting
+// covers the wave's crossbar, buffer, charging, TDC, I-adder and shift-add
+// operations; input-side L1/DTC costs are counted by the layer executors,
+// which own the O2IR reuse schedule.
+func (m *MappedLayer) Compute(inputs []int) ([]int, error) {
+	s := m.sc
+	cfg := s.cfg
+	if len(inputs) != m.Rows {
+		return nil, fmt.Errorf("core: %d inputs for %d mapped rows", len(inputs), m.Rows)
+	}
+	// DTC conversion of the input vector (per-row times). Energy for these
+	// conversions is attributed by the caller (O2IR converts once per input,
+	// not once per wave).
+	times := make([]float64, len(inputs))
+	for i, code := range inputs {
+		t, err := s.dtc.Convert(code, s.noise)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = s.xbuf.PropagateChain(t, s.inputHops, s.noise)
+	}
+	if s.inputHops > 0 {
+		s.add(energy.XSubBufOp, energy.ClassInput, float64(s.inputHops*len(inputs)))
+	}
+	// Propagate the times across the grid columns through X-subBufs.
+	// timesAt[gc] holds the signal as seen by grid column gc; column 0 sees
+	// the DTC outputs directly (Fig. 6(a)).
+	timesAt := make([][]float64, m.gridColsUsed)
+	timesAt[0] = times
+	for gc := 1; gc < m.gridColsUsed; gc++ {
+		prev := timesAt[gc-1]
+		next := make([]float64, len(prev))
+		for i, t := range prev {
+			next[i] = s.xbuf.Propagate(t, s.noise)
+		}
+		timesAt[gc] = next
+		s.add(energy.XSubBufOp, energy.ClassInput, float64(len(prev)))
+	}
+	s.add(energy.CrossbarOp, energy.ClassCompute, float64(m.gridRowsUsed*m.gridColsUsed))
+
+	cu := analog.ChargingUnit{
+		FullScale: float64(int(1)<<s.ifBits-1) * float64(int64(1)<<m.ScaleShift),
+		CapRatio:  1,
+		TDel:      params.TDel,
+		Bits:      s.ifBits,
+	}
+	psums := make([]int, m.D)
+	for d := 0; d < m.D; d++ {
+		acc := 0
+		for arm := 0; arm < armsPerWeight; arm++ {
+			armDot := 0
+			for nib := 0; nib < m.colsPerArm; nib++ {
+				gcol := m.globalCol(d, arm, nib)
+				gc, lc := gcol/cfg.B, gcol%cfg.B
+				// Gather the column current from every vertical crossbar,
+				// each through its own P-subBuf mirror (§V: not cascaded;
+				// the bottom crossbar feeds the I-adder directly).
+				contribs := make([]float64, 0, m.gridRowsUsed)
+				for gr := 0; gr < m.gridRowsUsed; gr++ {
+					lo := gr * cfg.B
+					hi := lo + cfg.B
+					if hi > len(timesAt[gc]) {
+						hi = len(timesAt[gc])
+					}
+					if lo >= hi {
+						break
+					}
+					dot := s.Crossbar(gr, gc).ColumnDot(timesAt[gc][lo:hi], lc, params.TDel)
+					if gr < m.gridRowsUsed-1 {
+						dot = s.pbuf.Mirror(dot, s.noise)
+					}
+					contribs = append(contribs, dot)
+				}
+				if n := m.gridRowsUsed - 1; n > 0 {
+					s.add(energy.PSubBufOp, energy.ClassPsum, float64(n))
+				}
+				total := s.iadd.Sum(contribs...)
+				s.add(energy.IAdderOp, energy.ClassPsum, 1)
+				code := s.tdc.Convert(cu.Output(total, s.noise), s.noise)
+				s.add(energy.ChargingOp, energy.ClassPsum, 1)
+				s.add(energy.TDCConv, energy.ClassPsum, 1)
+				armDot = armDot<<uint(cfg.CellBits) + code
+			}
+			if arm == 0 {
+				acc += armDot
+			} else {
+				acc -= armDot
+			}
+		}
+		psums[d] = acc << uint(m.ScaleShift)
+		// Digital recombination: one shift-and-add per column sample.
+		s.add(energy.ShiftAddOp, energy.ClassDigital, float64(m.physColsPerWeight()))
+	}
+	return psums, nil
+}
+
+// QuantizationBound returns the worst-case absolute psum error of one wave
+// from TDC rounding alone (noise-free): each of the 2·colsPerArm column
+// codes rounds within ±½ LSB of 2^ScaleShift dot units, weighted by its
+// nibble significance.
+func (m *MappedLayer) QuantizationBound() float64 {
+	weightSum := 0.0
+	for nib := 0; nib < m.colsPerArm; nib++ {
+		weightSum += math.Pow(2, float64(m.sc.cfg.CellBits*(m.colsPerArm-1-nib)))
+	}
+	return float64(armsPerWeight) * weightSum * 0.5 * float64(int64(1)<<m.ScaleShift)
+}
+
+// ScaleBits reports how many low bits of a psum are below the quantisation
+// floor (useful for choosing requantisation shifts).
+func (m *MappedLayer) ScaleBits() int {
+	return m.ScaleShift + bits.Len(uint(armsPerWeight*m.colsPerArm)) - 1
+}

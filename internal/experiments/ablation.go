@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analog"
+	"repro/internal/area"
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Ablation studies beyond the paper's figures, covering the design choices
+// §V discusses qualitatively: the DTC/TDC sharing factor γ (throughput vs
+// computational density), stuck-at-fault resilience of the analog datapath
+// (the defect-rescue literature the paper leans on), and the cost of the
+// two signed-weight encodings the crossbars support.
+
+// GammaPoint is one γ design point.
+type GammaPoint struct {
+	Gamma int
+	// CycleNS is the pipeline cycle in ns (γ × 25 ns).
+	CycleNS float64
+	// SubChipMM2 is the sub-chip area with the resized interface banks.
+	SubChipMM2 float64
+	// PeakTOPS is per-sub-chip peak (8-bit MACs/s, 1 op = 1 MAC).
+	PeakTOPS float64
+	// DensityTOPsMM2 is the resulting computational density.
+	DensityTOPsMM2 float64
+}
+
+// GammaSweep evaluates the §V trade-off: fewer conversions per DTC/TDC
+// (small γ) shortens the cycle but pays interface area; the Table II design
+// point is γ=8.
+func GammaSweep(gammas []int) []GammaPoint {
+	base := area.SubChipArea()
+	fixed := base -
+		float64(params.DTCsPerSubChip)*params.AreaDTC -
+		float64(params.TDCsPerSubChip)*params.AreaTDC
+	var pts []GammaPoint
+	for _, g := range gammas {
+		cfg := params.DefaultTimely(8)
+		cfg.Gamma = g
+		a := fixed +
+			float64(cfg.GridRows*cfg.B/g)*params.AreaDTC +
+			float64(cfg.GridCols*cfg.B/g)*params.AreaTDC
+		tops := cfg.MACsPerSubChipCycle() / cfg.CycleTime() // MACs per ps = TOPS
+		pts = append(pts, GammaPoint{
+			Gamma:          g,
+			CycleNS:        cfg.CycleTime() / 1000,
+			SubChipMM2:     a / 1e6,
+			PeakTOPS:       tops,
+			DensityTOPsMM2: tops / (a / 1e6),
+		})
+	}
+	return pts
+}
+
+// DefectPoint is one stuck-at-fault rate of the defect ablation.
+type DefectPoint struct {
+	// Rate is the stuck-cell fraction; Faults the realised count.
+	Rate   float64
+	Faults int
+	// Accuracy is the analog CNN accuracy at that defect level.
+	Accuracy float64
+}
+
+// DefectSweep maps the synthetic CNN onto faulty crossbars at increasing
+// stuck-at rates and measures the accuracy averaged over several fault-map
+// draws (§V: "TIMELY ... leverages algorithm resilience of CNNs/DNNs to
+// counter hardware vulnerability"; no defect-aware retraining or remapping
+// is applied, so this is the unprotected floor the rescue literature
+// improves on).
+func DefectSweep(seed uint64, rates []float64) ([]DefectPoint, error) {
+	rng := stats.NewRNG(seed)
+	ds := workload.SyntheticImages(rng, 600, 12, 4, 0.05)
+	train, test := ds.Split(0.8)
+	cnn := workload.NewCNN(rng, 8, 7)
+	if _, err := cnn.Train(rng, train, 32, 25, 0.05); err != nil {
+		return nil, err
+	}
+	const draws = 5
+	var pts []DefectPoint
+	for _, rate := range rates {
+		sum, faults := 0.0, 0
+		for d := 0; d < draws; d++ {
+			a, err := cnn.MapAnalog(core.Options{
+				Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
+				InterfaceBits: 24,
+			}, rate)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := a.Accuracy(test)
+			if err != nil {
+				return nil, err
+			}
+			sum += acc
+			faults += a.Faults()
+		}
+		pts = append(pts, DefectPoint{Rate: rate, Faults: faults / draws, Accuracy: sum / draws})
+	}
+	return pts, nil
+}
+
+// SchemePoint compares the signed-weight encodings.
+type SchemePoint struct {
+	Scheme string
+	// ColumnsPer8bWeight is the physical bit-cell columns per 8-bit weight.
+	ColumnsPer8bWeight int
+	// Conversions is the A/D conversions per weight per wave.
+	Conversions int
+	// Exact notes both schemes recover the signed dot exactly.
+	Exact bool
+}
+
+// SchemeComparison tabulates the differential vs offset-binary signed
+// encodings implemented by package reram (the paper's budget assumes the
+// sub-ranged two-column layout; the functional simulator defaults to
+// differential for exactness).
+func SchemeComparison() []SchemePoint {
+	cpw := params.DefaultTimely(8).ColumnsPerWeight()
+	return []SchemePoint{
+		{Scheme: "differential (pos/neg column pair)", ColumnsPer8bWeight: 2 * cpw, Conversions: 2 * cpw, Exact: true},
+		{Scheme: "offset-binary + reference column", ColumnsPer8bWeight: cpw + 1, Conversions: cpw + 1, Exact: true},
+		{Scheme: "paper accounting (unsigned sub-range)", ColumnsPer8bWeight: cpw, Conversions: cpw, Exact: false},
+	}
+}
+
+func renderAblation(w io.Writer) error {
+	g := report.New("Ablation: DTC/TDC sharing factor gamma (Table II point: 8)",
+		"gamma", "cycle (ns)", "sub-chip mm^2", "peak TOPS/sub-chip", "TOPs/(s*mm^2)")
+	for _, p := range GammaSweep([]int{1, 2, 4, 8, 16, 32}) {
+		g.AddF(p.Gamma, p.CycleNS, fmt.Sprintf("%.2f", p.SubChipMM2),
+			fmt.Sprintf("%.2f", p.PeakTOPS), fmt.Sprintf("%.2f", p.DensityTOPsMM2))
+	}
+	if err := g.Render(w); err != nil {
+		return err
+	}
+	pts, err := DefectSweep(5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30})
+	if err != nil {
+		return err
+	}
+	d := report.New("Ablation: stuck-at faults vs analog CNN accuracy",
+		"fault rate", "stuck cells", "accuracy")
+	for _, p := range pts {
+		d.AddF(report.Pct(p.Rate), p.Faults, report.Pct(p.Accuracy))
+	}
+	if err := d.Render(w); err != nil {
+		return err
+	}
+	s := report.New("Ablation: signed-weight encodings",
+		"scheme", "cols / 8-bit weight", "conversions / wave", "exact signed dot")
+	for _, p := range SchemeComparison() {
+		ex := "yes"
+		if !p.Exact {
+			ex = "n/a (unsigned)"
+		}
+		s.AddF(p.Scheme, p.ColumnsPer8bWeight, p.Conversions, ex)
+	}
+	return s.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:          "ablation",
+		Paper:       "§V design choices",
+		Description: "gamma sharing, defect resilience and signed-scheme ablations",
+		Render:      renderAblation,
+	})
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AccuracyResult is the §VI-B accuracy study on the synthetic workload.
+type AccuracyResult struct {
+	// FloatAcc / IntAcc are the float and 8-bit-integer reference test
+	// accuracies; AnalogAcc the functional-TIMELY accuracy at the paper's
+	// design-point noise, averaged over Trials Monte-Carlo seeds.
+	FloatAcc, IntAcc, AnalogAcc float64
+	// Loss is IntAcc − AnalogAcc (the paper claims ≤ 0.1 % on CNNs).
+	Loss float64
+	// CascadeErrorPS is √12·ε, against MarginPS (the DTC design margin).
+	CascadeErrorPS, MarginPS float64
+	// Trials is the Monte-Carlo repeat count.
+	Trials int
+}
+
+// NoiseSweepPoint is one ε point of the noise ablation.
+type NoiseSweepPoint struct {
+	// EpsilonPS is the per-X-subBuf error; AnalogAcc the resulting accuracy.
+	EpsilonPS float64
+	AnalogAcc float64
+	// WithinMargin reports whether √12·ε fits the design margin.
+	WithinMargin bool
+}
+
+// RunAccuracy trains the synthetic classifier, quantises it to TIMELY's
+// 8-bit datapath and measures the analog accuracy at the design point.
+func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
+	rng := stats.NewRNG(seed)
+	ds := workload.SyntheticClusters(rng, 2400, 16, 4, 0.30)
+	train, test := ds.Split(0.8)
+	m := workload.NewMLP(rng, 16, 48, 4)
+	// Noise-aware training (§VI-B: Gaussian noise added during training).
+	m.TrainWithNoise(train, rng, 30, 0.05, 0.02)
+	q, err := workload.Quantize(m, train, 8)
+	if err != nil {
+		return nil, err
+	}
+	res := &AccuracyResult{
+		FloatAcc:       m.Accuracy(test),
+		IntAcc:         q.AccuracyInt(test),
+		CascadeErrorPS: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, params.DefaultXSubBufSigma),
+		MarginPS:       params.TDelMargin,
+		Trials:         trials,
+	}
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		a, err := q.MapAnalog(core.Options{
+			Noise:         analog.DefaultNoise(seed + uint64(trial)*7919),
+			InterfaceBits: 24,
+			InputHops:     params.MaxCascadedXSubBufs, // worst-case cascade (§V)
+		})
+		if err != nil {
+			return nil, err
+		}
+		acc, err := a.Accuracy(test)
+		if err != nil {
+			return nil, err
+		}
+		sum += acc
+	}
+	res.AnalogAcc = sum / float64(trials)
+	res.Loss = res.IntAcc - res.AnalogAcc
+	return res, nil
+}
+
+// RunNoiseSweep sweeps the X-subBuf error ε and reports analog accuracy —
+// the ablation behind the paper's choice of ε, cascade limit and margin.
+func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
+	rng := stats.NewRNG(seed)
+	ds := workload.SyntheticClusters(rng, 2400, 16, 4, 0.30)
+	train, test := ds.Split(0.8)
+	m := workload.NewMLP(rng, 16, 48, 4)
+	m.TrainWithNoise(train, rng, 30, 0.05, 0.02)
+	q, err := workload.Quantize(m, train, 8)
+	if err != nil {
+		return nil, err
+	}
+	var pts []NoiseSweepPoint
+	for _, eps := range epsilons {
+		noise := &analog.Noise{
+			XSubBufSigma:    eps,
+			PSubBufRelSigma: params.DefaultPSubBufRelSigma,
+			ComparatorSigma: params.DefaultComparatorSigma,
+			RNG:             stats.NewRNG(seed + 1),
+		}
+		a, err := q.MapAnalog(core.Options{Noise: noise, InterfaceBits: 24,
+			InputHops: params.MaxCascadedXSubBufs})
+		if err != nil {
+			return nil, err
+		}
+		acc, err := a.Accuracy(test)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, NoiseSweepPoint{
+			EpsilonPS:    eps,
+			AnalogAcc:    acc,
+			WithinMargin: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, eps) <= params.TDelMargin,
+		})
+	}
+	return pts, nil
+}
+
+func renderAccuracy(w io.Writer) error {
+	res, err := RunAccuracy(2020, 5)
+	if err != nil {
+		return err
+	}
+	t := report.New("Accuracy under circuit noise (synthetic workload, §VI-B methodology)",
+		"metric", "value")
+	t.Add("float32 test accuracy", report.Pct(res.FloatAcc))
+	t.Add("8-bit integer accuracy", report.Pct(res.IntAcc))
+	t.Add(fmt.Sprintf("analog accuracy (design point, %d trials)", res.Trials), report.Pct(res.AnalogAcc))
+	t.Add("accuracy loss", fmt.Sprintf("%.2f pp (paper: <=0.1%% on CNNs)", res.Loss*100))
+	t.Add("cascade error sqrt(12)*eps", fmt.Sprintf("%.1f ps (margin %.0f ps)", res.CascadeErrorPS, res.MarginPS))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	pts, err := RunNoiseSweep(2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800})
+	if err != nil {
+		return err
+	}
+	s := report.New("Noise ablation: X-subBuf error vs analog accuracy",
+		"epsilon (ps)", "accuracy", "within margin")
+	for _, p := range pts {
+		in := "no"
+		if p.WithinMargin {
+			in = "yes"
+		}
+		s.AddF(p.EpsilonPS, report.Pct(p.AnalogAcc), in)
+	}
+	return s.Render(w)
+}
+
+func init() {
+	register(Experiment{
+		ID:          "accuracy",
+		Paper:       "§VI-B Accuracy",
+		Description: "inference accuracy under injected circuit noise",
+		Render:      renderAccuracy,
+	})
+}

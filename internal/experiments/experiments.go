@@ -1,0 +1,58 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each artifact has a typed Run function returning the
+// rows/series the paper reports and a Render function producing the text
+// form the cmd/timely harness prints. The per-experiment index lives in
+// DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the CLI name (fig4, table5, ...).
+	ID string
+	// Paper names the artifact ("Fig. 4(a-c)").
+	Paper string
+	// Description summarises what it shows.
+	Description string
+	// Render runs the experiment and writes its tables.
+	Render func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up by CLI name.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll renders every experiment in order.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "\n=== %s — %s ===\n", e.Paper, e.Description); err != nil {
+			return err
+		}
+		if err := e.Render(w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

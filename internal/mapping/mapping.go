@@ -1,0 +1,183 @@
+// Package mapping implements weight-to-crossbar placement: TIMELY's O2IR
+// mapping method (§IV-D, Fig. 7) and the baseline row-major mapping PRIME
+// and ISAAC use. A Placement captures how one layer occupies sub-chips (or
+// crossbars) and how many pipeline cycles one mapped instance needs per
+// image; Replicate distributes spare sub-chips across layers to balance the
+// inter-sub-chip pipeline (§IV-E).
+//
+// O2IR's three principles appear as:
+//
+//  1. filters sharing inputs are mapped to the same crossbar rows in
+//     parallel columns (captured by WeightCols = D weights side by side);
+//  2. filters are duplicated down the array with a row offset equal to the
+//     rows a vertical filter slide consumes, so one input pass yields
+//     VerticalCopies output rows;
+//  3. horizontal slides reuse inputs by shifting them between adjacent
+//     X-subBufs (temporal: one output column per pipeline cycle).
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/params"
+)
+
+// Placement describes how one layer instance occupies TIMELY sub-chips.
+type Placement struct {
+	Layer model.Layer
+	// Rows is the dot-product depth C·Z·G (conv) or C·H·W (FC).
+	Rows int
+	// CopyRowStride is the extra row offset per additional vertical filter
+	// copy: the C·G·S fresh im2col rows a vertical slide consumes.
+	CopyRowStride int
+	// PhysColsPerWeight is the bit-cell columns per weight (sub-ranging
+	// only for the paper's accounting; signed schemes may double it).
+	PhysColsPerWeight int
+	// VerticalCopies r: output rows produced per input pass (O2IR #2).
+	VerticalCopies int
+	// RowSplit / ColSplit: sub-chips stacked to cover rows / filter columns.
+	RowSplit, ColSplit int
+	// SubChips is RowSplit × ColSplit, the sub-chips of one instance.
+	SubChips int
+	// CyclesPerImage is the pipeline-cycle count one instance needs to
+	// produce the layer's outputs for one image (including input passes).
+	CyclesPerImage int64
+}
+
+// PlaceO2IR places one weighted layer under the O2IR mapping. It panics on
+// non-weighted layers (pool layers occupy no crossbars).
+func PlaceO2IR(l model.Layer, cfg params.TimelyConfig) Placement {
+	return place(l, cfg, cfg.ColumnsPerWeight())
+}
+
+// PlaceO2IRScheme places with an explicit physical columns-per-weight count
+// (e.g. 2× for the differential signed scheme of the functional simulator).
+func PlaceO2IRScheme(l model.Layer, cfg params.TimelyConfig, physColsPerWeight int) Placement {
+	return place(l, cfg, physColsPerWeight)
+}
+
+func place(l model.Layer, cfg params.TimelyConfig, cpw int) Placement {
+	if !l.IsWeighted() {
+		panic(fmt.Sprintf("mapping: layer %s (%s) holds no weights", l.Name, l.Kind))
+	}
+	p := Placement{
+		Layer:             l,
+		Rows:              l.DotRows(),
+		PhysColsPerWeight: cpw,
+		VerticalCopies:    1,
+	}
+	rowCap, colCap := cfg.RowCapacity(), cfg.ColCapacity()
+	wCols := l.D * cpw
+
+	p.RowSplit = ceilDiv(p.Rows, rowCap)
+	p.ColSplit = ceilDiv(wCols, colCap)
+
+	if l.Kind == model.KindConv {
+		p.CopyRowStride = l.C * l.G * l.S
+		if p.RowSplit == 1 && p.ColSplit == 1 {
+			// O2IR #2: duplicate filters down the spare rows and across the
+			// spare columns; bounded by output height (no use copying past E).
+			byRows := (rowCap-p.Rows)/p.CopyRowStride + 1
+			byCols := colCap / wCols
+			p.VerticalCopies = minInt(minInt(byRows, byCols), l.E)
+			if p.VerticalCopies < 1 {
+				p.VerticalCopies = 1
+			}
+		}
+	}
+	p.SubChips = p.RowSplit * p.ColSplit
+
+	passes := int64(cfg.InputPasses())
+	switch l.Kind {
+	case model.KindConv:
+		p.CyclesPerImage = int64(ceilDiv(l.E, p.VerticalCopies)) * int64(l.F) * passes
+	case model.KindFC:
+		p.CyclesPerImage = passes
+	}
+	return p
+}
+
+// CrossbarsUsed estimates the crossbars one instance actually occupies
+// (weights + O2IR copies), for utilisation accounting.
+func (p Placement) CrossbarsUsed(cfg params.TimelyConfig) int {
+	rowsUsed := p.Rows + (p.VerticalCopies-1)*p.CopyRowStride
+	colsUsed := p.VerticalCopies * p.Layer.D * p.PhysColsPerWeight
+	perInstanceRows := ceilDiv(minInt(rowsUsed, cfg.RowCapacity()), cfg.B)
+	perInstanceCols := ceilDiv(minInt(colsUsed, cfg.ColCapacity()), cfg.B)
+	n := perInstanceRows * perInstanceCols
+	if p.SubChips > 1 {
+		// Split layers occupy full grids on all but the last chunk; keep the
+		// conservative whole-sub-chip estimate.
+		n = p.SubChips * cfg.CrossbarsPerSubChip()
+	}
+	return n
+}
+
+// PlaceNetwork places every weighted layer of a network.
+func PlaceNetwork(n *model.Network, cfg params.TimelyConfig) []Placement {
+	var out []Placement
+	for _, l := range n.WeightedLayers() {
+		out = append(out, PlaceO2IR(l, cfg))
+	}
+	return out
+}
+
+// MinSubChips sums the sub-chips required to hold one instance of every
+// weighted layer.
+func MinSubChips(ps []Placement) int {
+	s := 0
+	for _, p := range ps {
+		s += p.SubChips
+	}
+	return s
+}
+
+// BaselinePlacement describes a layer mapped row-major onto B×B crossbars
+// without O2IR (PRIME/ISAAC style): no duplication, inputs re-read on every
+// slide.
+type BaselinePlacement struct {
+	Layer model.Layer
+	// RowChunks is ⌈rows/B⌉: crossbars stacked per weight-column group.
+	RowChunks int
+	// ColChunks is ⌈D·cpw/B⌉ groups of weight columns.
+	ColChunks int
+	// Crossbars is RowChunks × ColChunks for one instance.
+	Crossbars int
+	// WavesPerImage is the dot-product waves per image (output positions ×
+	// input passes; baselines convert every wave through DAC/ADC).
+	WavesPerImage int64
+}
+
+// PlaceBaseline maps a layer row-major onto b×b crossbars with cpw physical
+// columns per weight and the given number of input passes per wave.
+func PlaceBaseline(l model.Layer, b, cpw, passes int) BaselinePlacement {
+	if !l.IsWeighted() {
+		panic(fmt.Sprintf("mapping: layer %s (%s) holds no weights", l.Name, l.Kind))
+	}
+	p := BaselinePlacement{
+		Layer:     l,
+		RowChunks: ceilDiv(l.DotRows(), b),
+		ColChunks: ceilDiv(l.D*cpw, b),
+	}
+	p.Crossbars = p.RowChunks * p.ColChunks
+	p.WavesPerImage = int64(l.E) * int64(l.F) * int64(passes)
+	if l.Kind == model.KindFC {
+		p.WavesPerImage = int64(passes)
+	}
+	return p
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("mapping: non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The O2IR schedule generator materialises Fig. 7's dataflow cycle by
+// cycle: which output positions a sub-chip produces each pipeline cycle,
+// how many input pixels it fetches fresh from the L1 buffer, and how many
+// arrive through X-subBuf shifts instead. Building the schedule proves the
+// only-once-input-read invariant constructively — the total fresh fetches
+// of a full layer equal exactly C·H·W (Table V) — rather than assuming the
+// closed-form count.
+
+// ScheduleCycle is one pipeline cycle of a scheduled conv layer.
+type ScheduleCycle struct {
+	// Cycle is the 0-based cycle index.
+	Cycle int
+	// OutCol is the output column x produced this cycle.
+	OutCol int
+	// OutRows lists the output rows produced simultaneously (the vertical
+	// filter copies of O2IR principle 2).
+	OutRows []int
+	// Fresh is the number of input pixels fetched from L1 this cycle
+	// (never seen before).
+	Fresh int
+	// Shifted is the number of reused pixels arriving via X-subBuf shifts
+	// or held resident from earlier cycles.
+	Shifted int
+}
+
+// Schedule is a full O2IR execution plan for one conv layer instance.
+type Schedule struct {
+	// Placement is the O2IR placement the schedule realises.
+	Placement Placement
+	// Cycles is the per-cycle plan, in issue order.
+	Cycles []ScheduleCycle
+	// TotalFresh is the total L1 fetches; the O2IR invariant makes it
+	// exactly C·H·W for layers whose windows tile the input.
+	TotalFresh int
+	// TotalShifted is the total reused-pixel count.
+	TotalShifted int
+	// OutputsCovered counts produced (row, col) output positions (must be
+	// E·F).
+	OutputsCovered int
+}
+
+// BuildSchedule constructs the cycle-by-cycle O2IR schedule of a placed
+// convolution. Only single-instance conv layers are schedulable (FC layers
+// are one wave; split layers replicate this schedule per chunk).
+func BuildSchedule(p Placement) (*Schedule, error) {
+	l := p.Layer
+	if l.Kind != model.KindConv {
+		return nil, fmt.Errorf("mapping: schedule wants a conv layer, got %s", l.Kind)
+	}
+	if p.VerticalCopies < 1 {
+		return nil, fmt.Errorf("mapping: placement has no vertical copies")
+	}
+	s := &Schedule{Placement: p}
+	// seen marks pixels already fetched (shared across channels: all C
+	// channels of a pixel fetch together, so we count per-pixel and
+	// multiply by C).
+	seen := make([]bool, l.H*l.W)
+	r := p.VerticalCopies
+	groups := (l.E + r - 1) / r
+	cycle := 0
+	for g := 0; g < groups; g++ {
+		rowLo := g * r
+		rowHi := rowLo + r
+		if rowHi > l.E {
+			rowHi = l.E
+		}
+		// Input row window covered by this output-row group.
+		inRowLo := rowLo*l.S - l.Pad
+		inRowHi := (rowHi-1)*l.S - l.Pad + l.Z
+		for x := 0; x < l.F; x++ {
+			inColLo := x*l.S - l.Pad
+			inColHi := inColLo + l.G
+			fresh, shifted := 0, 0
+			for hy := inRowLo; hy < inRowHi; hy++ {
+				if hy < 0 || hy >= l.H {
+					continue
+				}
+				for wx := inColLo; wx < inColHi; wx++ {
+					if wx < 0 || wx >= l.W {
+						continue
+					}
+					if seen[hy*l.W+wx] {
+						shifted++
+					} else {
+						seen[hy*l.W+wx] = true
+						fresh++
+					}
+				}
+			}
+			outRows := make([]int, 0, rowHi-rowLo)
+			for y := rowLo; y < rowHi; y++ {
+				outRows = append(outRows, y)
+			}
+			s.Cycles = append(s.Cycles, ScheduleCycle{
+				Cycle:   cycle,
+				OutCol:  x,
+				OutRows: outRows,
+				Fresh:   fresh * l.C,
+				Shifted: shifted * l.C,
+			})
+			s.TotalFresh += fresh * l.C
+			s.TotalShifted += shifted * l.C
+			s.OutputsCovered += len(outRows)
+			cycle++
+		}
+	}
+	return s, nil
+}
+
+// FreshFetches returns the schedule's L1 read count, the quantity Table V
+// compares (equals l.Inputs() whenever the conv windows cover the input).
+func (s *Schedule) FreshFetches() int { return s.TotalFresh }
+
+// CycleCount returns the scheduled cycle count; it must equal the
+// placement's CyclesPerImage for single-pass precision.
+func (s *Schedule) CycleCount() int { return len(s.Cycles) }
+
+// ReuseFactor returns shifted/(fresh+shifted): the fraction of operand
+// deliveries served locally instead of from L1 (0 when the layer has no
+// reuse).
+func (s *Schedule) ReuseFactor() float64 {
+	tot := s.TotalFresh + s.TotalShifted
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.TotalShifted) / float64(tot)
+}

@@ -1,0 +1,275 @@
+// Package model defines the network description format used by all
+// simulators — layer shapes with derived dimensions, MAC and parameter
+// counts — plus the 15-benchmark zoo of Table III (VGG-A..D, MSRA-1/2/3,
+// ResNet-18/50/101/152, SqueezeNet, CNN-1, MLP-L).
+//
+// The zoo encodes layer *shapes* only; actual weights come from package
+// workload (trained or synthetic). Branching topologies (ResNet residuals,
+// SqueezeNet fire expands) are linearised for the analytic simulators: each
+// parallel convolution appears as its own layer with an explicit input shape
+// and the merge is reflected in the next layer's input channels. Element-wise
+// residual adds contribute no MACs and are ignored, as in the paper's
+// modelling.
+package model
+
+import "fmt"
+
+// Kind enumerates layer types.
+type Kind int
+
+const (
+	// KindConv is a 2-D convolution (with folded ReLU).
+	KindConv Kind = iota
+	// KindFC is a fully-connected layer (with folded ReLU except the last).
+	KindFC
+	// KindMaxPool is max pooling.
+	KindMaxPool
+	// KindAvgPool is average pooling.
+	KindAvgPool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindFC:
+		return "fc"
+	case KindMaxPool:
+		return "maxpool"
+	case KindAvgPool:
+		return "avgpool"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Layer is one network layer with both its configuration and the derived
+// input/output dimensions (filled by the builder). Parameter names follow
+// Table I of the paper: C/H/W input channel/height/width, D output channels,
+// Z/G filter height/width, S stride, E/F output height/width.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Input dims.
+	C, H, W int
+	// Filter dims (conv: D×C×Z×G; FC: D×(C·H·W); pool: Z=G=kernel).
+	D, Z, G int
+	S, Pad  int
+	// Output dims.
+	E, F int
+}
+
+// IsWeighted reports whether the layer holds trainable weights.
+func (l Layer) IsWeighted() bool { return l.Kind == KindConv || l.Kind == KindFC }
+
+// MACs returns the multiply-accumulate count of one inference pass.
+func (l Layer) MACs() int64 {
+	switch l.Kind {
+	case KindConv:
+		return int64(l.D) * int64(l.E) * int64(l.F) * int64(l.C) * int64(l.Z) * int64(l.G)
+	case KindFC:
+		return int64(l.D) * int64(l.C) * int64(l.H) * int64(l.W)
+	default:
+		return 0
+	}
+}
+
+// Params returns the trainable weight count (biases excluded, as in the
+// paper's crossbar capacity accounting).
+func (l Layer) Params() int64 {
+	switch l.Kind {
+	case KindConv:
+		return int64(l.D) * int64(l.C) * int64(l.Z) * int64(l.G)
+	case KindFC:
+		return int64(l.D) * int64(l.C) * int64(l.H) * int64(l.W)
+	default:
+		return 0
+	}
+}
+
+// Inputs returns the input element count C·H·W.
+func (l Layer) Inputs() int64 { return int64(l.C) * int64(l.H) * int64(l.W) }
+
+// Outputs returns the output element count.
+func (l Layer) Outputs() int64 {
+	switch l.Kind {
+	case KindConv, KindMaxPool, KindAvgPool:
+		d := l.D
+		if l.Kind != KindConv {
+			d = l.C
+		}
+		return int64(d) * int64(l.E) * int64(l.F)
+	case KindFC:
+		return int64(l.D)
+	}
+	return 0
+}
+
+// DotRows returns the im2col row count C·Z·G a weighted layer occupies in a
+// crossbar (the dot-product depth per output).
+func (l Layer) DotRows() int {
+	switch l.Kind {
+	case KindConv:
+		return l.C * l.Z * l.G
+	case KindFC:
+		return l.C * l.H * l.W
+	}
+	return 0
+}
+
+func (l Layer) String() string {
+	switch l.Kind {
+	case KindConv:
+		return fmt.Sprintf("%s: conv %dx%dx%d -> %d@%dx%d s%d p%d -> %dx%dx%d",
+			l.Name, l.C, l.H, l.W, l.D, l.Z, l.G, l.S, l.Pad, l.D, l.E, l.F)
+	case KindFC:
+		return fmt.Sprintf("%s: fc %d -> %d", l.Name, l.C*l.H*l.W, l.D)
+	default:
+		return fmt.Sprintf("%s: %s %dx%d s%d: %dx%dx%d -> %dx%dx%d",
+			l.Name, l.Kind, l.Z, l.G, l.S, l.C, l.H, l.W, l.C, l.E, l.F)
+	}
+}
+
+// Network is an ordered collection of layers with a fixed input shape.
+type Network struct {
+	Name          string
+	InC, InH, InW int
+	Layers        []Layer
+}
+
+// ConvLayers returns only the convolutional layers (the scope of Fig. 4 and
+// Table V: "All CONV layers").
+func (n *Network) ConvLayers() []Layer {
+	var out []Layer
+	for _, l := range n.Layers {
+		if l.Kind == KindConv {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// WeightedLayers returns conv and FC layers.
+func (n *Network) WeightedLayers() []Layer {
+	var out []Layer
+	for _, l := range n.Layers {
+		if l.IsWeighted() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TotalMACs sums MACs over all layers.
+func (n *Network) TotalMACs() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.MACs()
+	}
+	return s
+}
+
+// TotalParams sums trainable weights over all layers.
+func (n *Network) TotalParams() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.Params()
+	}
+	return s
+}
+
+func convOut(n, k, s, p int) int { return (n+2*p-k)/s + 1 }
+
+// Builder constructs a Network, propagating dimensions layer to layer.
+type Builder struct {
+	net     Network
+	c, h, w int // cursor: current activation dims
+	err     error
+}
+
+// NewBuilder starts a network with the given input shape.
+func NewBuilder(name string, c, h, w int) *Builder {
+	return &Builder{net: Network{Name: name, InC: c, InH: h, InW: w}, c: c, h: h, w: w}
+}
+
+// Cursor returns the current activation shape.
+func (b *Builder) Cursor() (c, h, w int) { return b.c, b.h, b.w }
+
+// SetCursor overrides the propagated shape (used after branch merges).
+func (b *Builder) SetCursor(c, h, w int) *Builder {
+	b.c, b.h, b.w = c, h, w
+	return b
+}
+
+// Conv appends a convolution consuming the cursor shape.
+func (b *Builder) Conv(name string, d, k, s, pad int) *Builder {
+	return b.ConvRect(name, d, k, k, s, pad)
+}
+
+// ConvRect appends a convolution with a possibly non-square kernel.
+func (b *Builder) ConvRect(name string, d, z, g, s, pad int) *Builder {
+	l := Layer{Name: name, Kind: KindConv, C: b.c, H: b.h, W: b.w,
+		D: d, Z: z, G: g, S: s, Pad: pad}
+	l.E = convOut(b.h, z, s, pad)
+	l.F = convOut(b.w, g, s, pad)
+	if l.E <= 0 || l.F <= 0 {
+		b.fail("conv %s produces empty output %dx%d", name, l.E, l.F)
+		return b
+	}
+	b.net.Layers = append(b.net.Layers, l)
+	b.c, b.h, b.w = d, l.E, l.F
+	return b
+}
+
+// ConvAt appends a convolution with an explicit input shape, leaving the
+// cursor at its output (used for parallel branches).
+func (b *Builder) ConvAt(name string, inC, inH, inW, d, k, s, pad int) *Builder {
+	b.SetCursor(inC, inH, inW)
+	return b.Conv(name, d, k, s, pad)
+}
+
+// FC appends a fully-connected layer over the flattened cursor.
+func (b *Builder) FC(name string, d int) *Builder {
+	l := Layer{Name: name, Kind: KindFC, C: b.c, H: b.h, W: b.w,
+		D: d, Z: b.h, G: b.w, S: 1, E: 1, F: 1}
+	b.net.Layers = append(b.net.Layers, l)
+	b.c, b.h, b.w = d, 1, 1
+	return b
+}
+
+// MaxPool appends max pooling (kernel k, stride s, padding pad).
+func (b *Builder) MaxPool(k, s, pad int) *Builder { return b.pool(KindMaxPool, k, s, pad) }
+
+// AvgPool appends average pooling.
+func (b *Builder) AvgPool(k, s, pad int) *Builder { return b.pool(KindAvgPool, k, s, pad) }
+
+func (b *Builder) pool(kind Kind, k, s, pad int) *Builder {
+	name := fmt.Sprintf("%s%d", kind, len(b.net.Layers))
+	l := Layer{Name: name, Kind: kind, C: b.c, H: b.h, W: b.w,
+		Z: k, G: k, S: s, Pad: pad}
+	l.E = convOut(b.h, k, s, pad)
+	l.F = convOut(b.w, k, s, pad)
+	if l.E <= 0 || l.F <= 0 {
+		b.fail("pool produces empty output %dx%d", l.E, l.F)
+		return b
+	}
+	b.net.Layers = append(b.net.Layers, l)
+	b.h, b.w = l.E, l.F
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("model %s: "+format, append([]any{b.net.Name}, args...)...)
+	}
+}
+
+// Build finalises the network. It panics on construction errors, since the
+// zoo is static and an invalid network is a programming bug.
+func (b *Builder) Build() *Network {
+	if b.err != nil {
+		panic(b.err)
+	}
+	n := b.net
+	return &n
+}

@@ -1,0 +1,258 @@
+package model
+
+import "fmt"
+
+// This file defines the 15 benchmarks of Table III. Networks whose exact
+// layer tables are not in the TIMELY/PRIME/ISAAC papers are reconstructed
+// from their original publications; approximations are noted inline and in
+// DESIGN.md.
+
+// VGG builds configuration v of Simonyan & Zisserman ("A"/"B"/"C"/"D"),
+// which ISAAC calls VGG-1..4 and the TIMELY paper evaluates as such.
+// VGG-D is the VGG-16 used for the paper's deep-dive experiments.
+func VGG(v string) *Network {
+	b := NewBuilder("VGG-"+v, 3, 224, 224)
+	// blocks: convs per stage for each configuration, plus the stage-3..5
+	// extra-conv kernel (1 for C's 1x1 convs, 3 for D's 3x3).
+	type stage struct {
+		d      int
+		convs  int
+		extraK int // 0: none, else kernel of the extra conv
+	}
+	var stages []stage
+	switch v {
+	case "A":
+		stages = []stage{{64, 1, 0}, {128, 1, 0}, {256, 2, 0}, {512, 2, 0}, {512, 2, 0}}
+	case "B":
+		stages = []stage{{64, 2, 0}, {128, 2, 0}, {256, 2, 0}, {512, 2, 0}, {512, 2, 0}}
+	case "C":
+		stages = []stage{{64, 2, 0}, {128, 2, 0}, {256, 2, 1}, {512, 2, 1}, {512, 2, 1}}
+	case "D":
+		stages = []stage{{64, 2, 0}, {128, 2, 0}, {256, 2, 3}, {512, 2, 3}, {512, 2, 3}}
+	default:
+		panic(fmt.Sprintf("model: unknown VGG configuration %q", v))
+	}
+	n := 0
+	for si, st := range stages {
+		for i := 0; i < st.convs; i++ {
+			n++
+			b.Conv(fmt.Sprintf("conv%d_%d", si+1, i+1), st.d, 3, 1, 1)
+		}
+		if st.extraK > 0 {
+			n++
+			b.Conv(fmt.Sprintf("conv%d_%d", si+1, st.convs+1), st.d, st.extraK, 1, st.extraK/2)
+		}
+		b.MaxPool(2, 2, 0)
+	}
+	b.FC("fc6", 4096).FC("fc7", 4096).FC("fc8", 1000)
+	return b.Build()
+}
+
+// MSRA builds model n ∈ {1,2,3} of He et al. 2015 ("Delving Deep into
+// Rectifiers"), the MSRA-1/2/3 benchmarks ISAAC and TIMELY use. Model A has
+// a 7×7/2 stem and three 5-conv stages; model B deepens each stage to 6
+// convs; model C widens B's channels to 384/768/896. The SPP head is
+// approximated by a final max pool to 7×7 (shape-level approximation, noted
+// in DESIGN.md).
+func MSRA(n int) *Network {
+	convsPerStage := 5
+	ch := []int{256, 512, 512}
+	if n >= 2 {
+		convsPerStage = 6
+	}
+	if n == 3 {
+		ch = []int{384, 768, 896}
+	}
+	if n < 1 || n > 3 {
+		panic(fmt.Sprintf("model: unknown MSRA model %d", n))
+	}
+	b := NewBuilder(fmt.Sprintf("MSRA-%d", n), 3, 224, 224)
+	b.Conv("conv1", 96, 7, 2, 3) // 224 -> 112
+	b.MaxPool(2, 2, 0)           // 112 -> 56
+	for si, d := range ch {
+		for i := 0; i < convsPerStage; i++ {
+			b.Conv(fmt.Sprintf("conv%d_%d", si+2, i+1), d, 3, 1, 1)
+		}
+		if si < len(ch)-1 {
+			b.MaxPool(2, 2, 0)
+		}
+	}
+	b.MaxPool(2, 2, 0) // SPP approximation: 14 -> 7
+	b.FC("fc1", 4096).FC("fc2", 4096).FC("fc3", 1000)
+	return b.Build()
+}
+
+// ResNet builds the standard ImageNet ResNet of the given depth
+// (18, 50, 101 or 152). Basic blocks for 18; bottlenecks otherwise.
+// Projection (1×1) shortcuts appear at each stage entry; identity shortcuts
+// carry no weights and are omitted (no MACs in the paper's accounting).
+func ResNet(depth int) *Network {
+	type cfg struct {
+		blocks     [4]int
+		bottleneck bool
+	}
+	var c cfg
+	switch depth {
+	case 18:
+		c = cfg{[4]int{2, 2, 2, 2}, false}
+	case 50:
+		c = cfg{[4]int{3, 4, 6, 3}, true}
+	case 101:
+		c = cfg{[4]int{3, 4, 23, 3}, true}
+	case 152:
+		c = cfg{[4]int{3, 8, 36, 3}, true}
+	default:
+		panic(fmt.Sprintf("model: unsupported ResNet depth %d", depth))
+	}
+	b := NewBuilder(fmt.Sprintf("ResNet-%d", depth), 3, 224, 224)
+	b.Conv("conv1", 64, 7, 2, 3) // 224 -> 112
+	b.MaxPool(3, 2, 1)           // 112 -> 56
+	width := []int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		d := width[stage]
+		for blk := 0; blk < c.blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("conv%d_%d", stage+2, blk+1)
+			inC, inH, inW := b.Cursor()
+			if c.bottleneck {
+				outC := 4 * d
+				b.Conv(prefix+"_a", d, 1, stride, 0)
+				b.Conv(prefix+"_b", d, 3, 1, 1)
+				b.Conv(prefix+"_c", outC, 1, 1, 0)
+				if blk == 0 {
+					// projection shortcut from the block input
+					oc, oh, ow := b.Cursor()
+					b.ConvAt(prefix+"_proj", inC, inH, inW, outC, 1, stride, 0)
+					b.SetCursor(oc, oh, ow)
+				}
+			} else {
+				b.Conv(prefix+"_a", d, 3, stride, 1)
+				b.Conv(prefix+"_b", d, 3, 1, 1)
+				if blk == 0 && stride != 1 {
+					oc, oh, ow := b.Cursor()
+					b.ConvAt(prefix+"_proj", inC, inH, inW, d, 1, stride, 0)
+					b.SetCursor(oc, oh, ow)
+				}
+			}
+		}
+	}
+	b.AvgPool(7, 7, 0)
+	b.FC("fc", 1000)
+	return b.Build()
+}
+
+// SqueezeNet builds SqueezeNet v1.0 (Iandola et al.). Each fire module is a
+// 1×1 squeeze followed by parallel 1×1 and 3×3 expands whose outputs
+// concatenate; the parallel expands appear as two layers sharing the squeeze
+// output, and the cursor is set to the concatenated channel count.
+func SqueezeNet() *Network {
+	b := NewBuilder("SqueezeNet", 3, 224, 224)
+	b.Conv("conv1", 96, 7, 2, 2) // 224 -> 111 (v1.0 uses pad 2)
+	b.MaxPool(3, 2, 0)           // 111 -> 55
+	fire := func(i, s, e1, e3 int) {
+		_, h, w := b.Cursor()
+		b.Conv(fmt.Sprintf("fire%d_squeeze", i), s, 1, 1, 0)
+		sc, sh, sw := b.Cursor()
+		b.Conv(fmt.Sprintf("fire%d_expand1", i), e1, 1, 1, 0)
+		b.ConvAt(fmt.Sprintf("fire%d_expand3", i), sc, sh, sw, e3, 3, 1, 1)
+		b.SetCursor(e1+e3, h, w)
+	}
+	fire(2, 16, 64, 64)
+	fire(3, 16, 64, 64)
+	fire(4, 32, 128, 128)
+	b.MaxPool(3, 2, 0) // 55 -> 27
+	fire(5, 32, 128, 128)
+	fire(6, 48, 192, 192)
+	fire(7, 48, 192, 192)
+	fire(8, 64, 256, 256)
+	b.MaxPool(3, 2, 0) // 27 -> 13
+	fire(9, 64, 256, 256)
+	b.Conv("conv10", 1000, 1, 1, 0)
+	b.AvgPool(13, 13, 0)
+	return b.Build()
+}
+
+// CNN1 is PRIME's CNN-1 MNIST benchmark (Caffe LeNet shape:
+// conv5×5-20, pool2, conv5×5-50, pool2, fc500, fc10).
+func CNN1() *Network {
+	b := NewBuilder("CNN-1", 1, 28, 28)
+	b.Conv("conv1", 20, 5, 1, 0) // 28 -> 24
+	b.MaxPool(2, 2, 0)           // 24 -> 12
+	b.Conv("conv2", 50, 5, 1, 0) // 12 -> 8
+	b.MaxPool(2, 2, 0)           // 8 -> 4
+	b.FC("fc1", 500).FC("fc2", 10)
+	return b.Build()
+}
+
+// MLPL is PRIME's MLP-L MNIST benchmark: 784-1500-1000-500-10.
+func MLPL() *Network {
+	b := NewBuilder("MLP-L", 1, 28, 28)
+	b.FC("fc1", 1500).FC("fc2", 1000).FC("fc3", 500).FC("fc4", 10)
+	return b.Build()
+}
+
+// ByName returns the benchmark with the given Table III name.
+func ByName(name string) (*Network, error) {
+	switch name {
+	case "VGG-D", "VGG-4":
+		n := VGG("D")
+		n.Name = name
+		return n, nil
+	case "VGG-1":
+		n := VGG("A")
+		n.Name = name
+		return n, nil
+	case "VGG-2":
+		n := VGG("B")
+		n.Name = name
+		return n, nil
+	case "VGG-3":
+		n := VGG("C")
+		n.Name = name
+		return n, nil
+	case "MSRA-1":
+		return MSRA(1), nil
+	case "MSRA-2":
+		return MSRA(2), nil
+	case "MSRA-3":
+		return MSRA(3), nil
+	case "ResNet-18":
+		return ResNet(18), nil
+	case "ResNet-50":
+		return ResNet(50), nil
+	case "ResNet-101":
+		return ResNet(101), nil
+	case "ResNet-152":
+		return ResNet(152), nil
+	case "SqueezeNet":
+		return SqueezeNet(), nil
+	case "CNN-1":
+		return CNN1(), nil
+	case "MLP-L":
+		return MLPL(), nil
+	}
+	return nil, fmt.Errorf("model: unknown benchmark %q", name)
+}
+
+// Benchmarks returns the full Table III suite in the paper's order.
+func Benchmarks() []*Network {
+	names := []string{
+		"VGG-D", "CNN-1", "MLP-L",
+		"VGG-1", "VGG-2", "VGG-3", "VGG-4",
+		"MSRA-1", "MSRA-2", "MSRA-3",
+		"ResNet-18", "ResNet-50", "ResNet-101", "ResNet-152",
+		"SqueezeNet",
+	}
+	out := make([]*Network, len(names))
+	for i, n := range names {
+		net, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = net
+	}
+	return out
+}

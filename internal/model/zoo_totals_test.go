@@ -1,0 +1,109 @@
+package model
+
+import "testing"
+
+// Validation of the zoo's derived totals against the published figures of
+// each architecture (MACs for one 224×224 inference; parameters incl. FC).
+// Bands are ±15 % to absorb head/padding convention differences; MSRA
+// models are reconstructions (DESIGN.md) and get relative checks only.
+
+func TestZooMACTotals(t *testing.T) {
+	cases := []struct {
+		name      string
+		wantMACs  float64
+		tolerance float64
+	}{
+		{"VGG-1", 7.6e9, 0.15},  // VGG-A/11
+		{"VGG-2", 11.3e9, 0.15}, // VGG-B/13
+		{"VGG-3", 11.8e9, 0.15}, // VGG-C/16 (the 1x1 extras add little compute)
+		{"VGG-4", 15.5e9, 0.15}, // VGG-D/16
+		{"ResNet-18", 1.82e9, 0.15},
+		{"ResNet-101", 7.8e9, 0.15},
+		{"ResNet-152", 11.5e9, 0.15},
+		{"SqueezeNet", 0.85e9, 0.25},
+	}
+	for _, c := range cases {
+		n, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(n.TotalMACs())
+		if got < c.wantMACs*(1-c.tolerance) || got > c.wantMACs*(1+c.tolerance) {
+			t.Errorf("%s MACs = %.3g, want %.3g ±%.0f%%", c.name, got, c.wantMACs, c.tolerance*100)
+		}
+	}
+}
+
+func TestZooParamTotals(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantParams float64
+		tolerance  float64
+	}{
+		{"VGG-1", 132.9e6, 0.05},
+		{"VGG-2", 133.0e6, 0.05},
+		{"VGG-4", 138.3e6, 0.05},
+		{"ResNet-18", 11.7e6, 0.10},
+		{"ResNet-101", 44.5e6, 0.10},
+		{"ResNet-152", 60.2e6, 0.10},
+		{"CNN-1", 431e3, 0.05}, // LeNet shape: 500+25k+400k+5k
+	}
+	for _, c := range cases {
+		n, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(n.TotalParams())
+		if got < c.wantParams*(1-c.tolerance) || got > c.wantParams*(1+c.tolerance) {
+			t.Errorf("%s params = %.4g, want %.4g ±%.0f%%", c.name, got, c.wantParams, c.tolerance*100)
+		}
+	}
+}
+
+func TestZooOrderings(t *testing.T) {
+	mac := func(name string) int64 {
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.TotalMACs()
+	}
+	// VGG family grows with depth.
+	if !(mac("VGG-1") < mac("VGG-2") && mac("VGG-2") < mac("VGG-3") && mac("VGG-3") <= mac("VGG-4")) {
+		t.Errorf("VGG MAC ordering broken")
+	}
+	// ResNets grow with depth.
+	if !(mac("ResNet-18") < mac("ResNet-50") && mac("ResNet-50") < mac("ResNet-101") &&
+		mac("ResNet-101") < mac("ResNet-152")) {
+		t.Errorf("ResNet MAC ordering broken")
+	}
+	// MSRA models grow A < B < C (deeper, then wider).
+	if !(mac("MSRA-1") < mac("MSRA-2") && mac("MSRA-2") < mac("MSRA-3")) {
+		t.Errorf("MSRA MAC ordering broken")
+	}
+	// SqueezeNet is the lightest ImageNet model in the suite.
+	if mac("SqueezeNet") >= mac("ResNet-18") {
+		t.Errorf("SqueezeNet not lighter than ResNet-18")
+	}
+}
+
+func TestZooSpatialDims(t *testing.T) {
+	// Every ImageNet model must reduce 224×224 to a 7×7-or-smaller map
+	// before its classifier head.
+	for _, name := range []string{"VGG-4", "ResNet-50", "MSRA-1"} {
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastFC Layer
+		for _, l := range n.Layers {
+			if l.Kind == KindFC {
+				lastFC = l
+				break
+			}
+		}
+		if lastFC.H > 7 || lastFC.W > 7 {
+			t.Errorf("%s classifier sees %dx%d spatial map, want ≤7x7", name, lastFC.H, lastFC.W)
+		}
+	}
+}

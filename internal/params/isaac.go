@@ -1,0 +1,83 @@
+package params
+
+// IsaacConfig describes the ISAAC baseline (Shafiee et al., ISCA 2016): a
+// tiled ReRAM accelerator with 128×128 crossbars holding 2-bit cells, 16-bit
+// weights spread over 8 adjacent columns, bit-serial 16-bit inputs (1 bit per
+// 100 ns cycle), one 8-bit ADC shared by the 128 columns of a crossbar, an
+// eDRAM input buffer per tile, and a balanced inter-layer pipeline.
+type IsaacConfig struct {
+	// B is the crossbar dimension (128).
+	B int
+	// CellBits is the weight bits per cell (2).
+	CellBits int
+	// WeightBits / InputBits (16/16).
+	WeightBits, InputBits int
+	// Crossbars per chip (Fig. 8(b): 16128).
+	Crossbars int
+	// Chips in the deployment.
+	Chips int
+	// CycleTime is the pipeline cycle in ps (100 ns).
+	CycleTime float64
+	// MACLatencyCycles is the latency to finish one 16-bit MAC wave
+	// (§VI-B: 22 cycles); throughput is pipelined at CycleTime.
+	MACLatencyCycles int
+}
+
+// DefaultIsaac returns the ISAAC configuration used in the paper's
+// comparisons.
+func DefaultIsaac() IsaacConfig {
+	return IsaacConfig{
+		B:                128,
+		CellBits:         2,
+		WeightBits:       16,
+		InputBits:        16,
+		Crossbars:        16128,
+		Chips:            1,
+		CycleTime:        100_000.0,
+		MACLatencyCycles: 22,
+	}
+}
+
+// ColumnsPerWeight: 16-bit weights over 2-bit cells occupy 8 columns.
+func (c IsaacConfig) ColumnsPerWeight() int {
+	return (c.WeightBits + c.CellBits - 1) / c.CellBits
+}
+
+// InputBitCycles is the number of bit-serial input cycles per wave.
+func (c IsaacConfig) InputBitCycles() int { return c.InputBits }
+
+// ISAAC unit energies in fJ, calibrated to reproduce the Fig. 4(c) breakdown
+// (analog DAC/ADC 61 %, communication 19 %, memory 12 %, digital 8 %) on
+// VGG-D with the total anchored to the paper's Fig. 8(a) VGG-4 ratio
+// (TIMELY-16 is 22.2× more energy-efficient). §III-A additionally anchors
+// the per-input costs relative to a 16-bit ReRAM MAC: eDRAM read ≈ 4416×,
+// input register ≈ 264.5×, D/A ≈ 109.7× — those ratios are preserved, with
+// the 16-bit MAC reference at 5 fJ.
+const (
+	// IsaacEnergyMAC16 is the reference energy of one 16-bit ReRAM MAC
+	// inside a crossbar (device-level, excluding interfaces).
+	IsaacEnergyMAC16 = 5.0
+	// IsaacEnergyEDRAMRead is one 16-bit eDRAM read (4416× a 16-bit MAC).
+	IsaacEnergyEDRAMRead = 4416 * IsaacEnergyMAC16
+	// IsaacEnergyIRRead is one input-register read (264.5× a 16-bit MAC).
+	IsaacEnergyIRRead = 264.5 * IsaacEnergyMAC16
+	// IsaacEnergyDAC is the per-input D/A cost (109.7× a 16-bit MAC). In
+	// ISAAC the "DAC" is a 1-bit wordline driver applied over 16 bit cycles;
+	// this is the total per input value.
+	IsaacEnergyDAC = 109.7 * IsaacEnergyMAC16
+	// IsaacEnergyADC is one 8-bit 1.28 GS/s SAR conversion, calibrated to
+	// the 61 % interface share of Fig. 4(c).
+	IsaacEnergyADC = 1025.0
+	// IsaacEnergyCrossbarOp is one 128×128 crossbar activation for one
+	// input-bit cycle (¼ the cells of TIMELY's arrays, single-bit inputs).
+	IsaacEnergyCrossbarOp = 150.0
+	// IsaacEnergyShiftAdd is the digital shift-and-add per column sample
+	// (calibrated to the 8 % digital share).
+	IsaacEnergyShiftAdd = 134.0
+	// IsaacEnergyHT is one HyperTransport transfer (inter-chip comm).
+	IsaacEnergyHT = EnergyHyperLink
+	// IsaacEnergyCommPerValue is the average on-chip communication cost per
+	// 16-bit value moved through the tile network (calibrated to the 19 %
+	// comm share over input + output traffic).
+	IsaacEnergyCommPerValue = 36_400.0
+)

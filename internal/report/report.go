@@ -1,0 +1,153 @@
+// Package report renders the experiment results as aligned text tables and
+// simple CSV, the output format of the cmd/timely harness and the examples.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row. Short rows pad with empty cells; long rows extend the
+// header width with blanks.
+func (t *Table) Add(cells ...string) *Table {
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// AddF appends one row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) AddF(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	return t.Add(row...)
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	return w
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(out io.Writer) error {
+	w := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(out, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(w))
+		for i := range w {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, w[i])
+		}
+		_, err := fmt.Fprintf(out, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(w))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", w[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as comma-separated values (no escaping beyond
+// quoting cells that contain commas).
+func (t *Table) RenderCSV(out io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(out, strings.Join(quoted, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Millions formats a count as “12.34 M”.
+func Millions(v float64) string { return fmt.Sprintf("%.2f M", v/1e6) }
+
+// MJ formats femtojoules as millijoules.
+func MJ(fj float64) string { return fmt.Sprintf("%.3f mJ", fj*1e-12) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// X formats an improvement factor.
+func X(v float64) string { return fmt.Sprintf("%.1fx", v) }

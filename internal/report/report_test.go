@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("title", "a", "bb")
+	tb.Add("xxx", "y")
+	tb.Add("z", "wwww")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (title, header, rule, 2 rows)", len(lines))
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("missing rule: %q", lines[2])
+	}
+}
+
+func TestAddFFormats(t *testing.T) {
+	tb := New("", "c")
+	tb.AddF("s", 1.5, 7, int64(9), struct{}{})
+	row := tb.Rows[0]
+	if row[0] != "s" || row[1] != "1.5" || row[2] != "7" || row[3] != "9" {
+		t.Errorf("AddF row = %v", row)
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("only")
+	tb.Add("1", "2", "3")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3") {
+		t.Errorf("long row truncated: %q", buf.String())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x,y", "plain")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",plain\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Millions(28.9e6); got != "28.90 M" {
+		t.Errorf("Millions = %q", got)
+	}
+	if got := MJ(14.8e12); got != "14.800 mJ" {
+		t.Errorf("MJ = %q", got)
+	}
+	if got := Pct(0.889); got != "88.9%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := X(15.62); got != "15.6x" {
+		t.Errorf("X = %q", got)
+	}
+}

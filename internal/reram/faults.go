@@ -1,0 +1,90 @@
+package reram
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Stuck-at fault injection. ReRAM arrays suffer hard faults — cells stuck
+// at low conductance (SA0, cannot be programmed up) or high conductance
+// (SA1, cannot be programmed down). §V leans on CNN/DNN algorithm
+// resilience against such hardware vulnerability (citing the defect-rescue
+// literature [9],[48]); the fault model here drives the defect ablation in
+// package experiments.
+
+// FaultKind enumerates hard-fault types.
+type FaultKind int
+
+const (
+	// FaultSA0 pins a cell at level 0.
+	FaultSA0 FaultKind = iota
+	// FaultSA1 pins a cell at the maximum level.
+	FaultSA1
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSA0:
+		return "SA0"
+	case FaultSA1:
+		return "SA1"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// FaultMap records the injected faults of one crossbar.
+type FaultMap struct {
+	// SA0 and SA1 count the injected faults by kind.
+	SA0, SA1 int
+}
+
+// Total returns the fault count.
+func (f FaultMap) Total() int { return f.SA0 + f.SA1 }
+
+// InjectStuckFaults pins a random fraction `rate` of the cells: half stuck
+// at level 0, half at the maximum level (the usual 50/50 SAF split in the
+// defect literature). Faulted cells override whatever was programmed and
+// ignore later Program calls. It returns the injected fault map.
+func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, error) {
+	if rate < 0 || rate > 1 {
+		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
+	}
+	if x.faults == nil {
+		x.faults = make([]int8, len(x.levels))
+	}
+	var fm FaultMap
+	for i := range x.levels {
+		if rng.Float64() >= rate {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			x.faults[i] = faultSA0
+			x.levels[i] = 0
+			fm.SA0++
+		} else {
+			x.faults[i] = faultSA1
+			x.levels[i] = x.MaxLevel()
+			fm.SA1++
+		}
+	}
+	return fm, nil
+}
+
+// ClearFaults removes all injected faults (programmed levels of previously
+// faulted cells remain at their pinned values until reprogrammed).
+func (x *Crossbar) ClearFaults() { x.faults = nil }
+
+// IsFaulty reports whether the cell carries a stuck-at fault.
+func (x *Crossbar) IsFaulty(row, col int) bool {
+	if x.faults == nil {
+		return false
+	}
+	return x.faults[row*x.B+col] != faultNone
+}
+
+const (
+	faultNone int8 = iota
+	faultSA0
+	faultSA1
+)

@@ -1,0 +1,140 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/stats"
+)
+
+func TestInjectStuckFaultsRate(t *testing.T) {
+	x := New(128, 4)
+	fm, err := x.InjectStuckFaults(0.1, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 128 * 128
+	got := float64(fm.Total()) / float64(total)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("fault rate = %.3f, want ≈0.1", got)
+	}
+	// Roughly balanced SA0/SA1.
+	if fm.SA0 == 0 || fm.SA1 == 0 {
+		t.Errorf("one-sided fault split: %+v", fm)
+	}
+	ratio := float64(fm.SA0) / float64(fm.SA1)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("SA0/SA1 ratio = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestFaultRateValidation(t *testing.T) {
+	x := New(8, 4)
+	if _, err := x.InjectStuckFaults(-0.1, stats.NewRNG(1)); err == nil {
+		t.Errorf("negative rate accepted")
+	}
+	if _, err := x.InjectStuckFaults(1.1, stats.NewRNG(1)); err == nil {
+		t.Errorf("rate > 1 accepted")
+	}
+}
+
+func TestStuckCellsIgnoreProgramming(t *testing.T) {
+	x := New(16, 4)
+	if _, err := x.InjectStuckFaults(1.0, stats.NewRNG(7)); err != nil {
+		t.Fatal(err)
+	}
+	// Every cell is pinned at 0 or 15; programming must not move them.
+	before := make([]uint8, 0, 16*16)
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			before = append(before, x.Level(r, c))
+			if err := x.Program(r, c, 7); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	i := 0
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if got := x.Level(r, c); got != before[i] {
+				t.Fatalf("stuck cell (%d,%d) moved %d -> %d", r, c, before[i], got)
+			}
+			if !x.IsFaulty(r, c) {
+				t.Fatalf("cell (%d,%d) not marked faulty", r, c)
+			}
+			i++
+		}
+	}
+}
+
+func TestSA0AndSA1Levels(t *testing.T) {
+	x := New(64, 4)
+	fm, err := x.InjectStuckFaults(0.5, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa0, sa1 int
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if !x.IsFaulty(r, c) {
+				continue
+			}
+			switch x.Level(r, c) {
+			case 0:
+				sa0++
+			case x.MaxLevel():
+				sa1++
+			default:
+				t.Fatalf("faulty cell (%d,%d) at level %d, want 0 or %d", r, c, x.Level(r, c), x.MaxLevel())
+			}
+		}
+	}
+	if sa0 != fm.SA0 || sa1 != fm.SA1 {
+		t.Errorf("fault map %+v disagrees with cells (%d/%d)", fm, sa0, sa1)
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	x := New(8, 4)
+	if _, err := x.InjectStuckFaults(1.0, stats.NewRNG(5)); err != nil {
+		t.Fatal(err)
+	}
+	x.ClearFaults()
+	if x.IsFaulty(0, 0) {
+		t.Errorf("faults survive ClearFaults")
+	}
+	if err := x.Program(0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if x.Level(0, 0) != 9 {
+		t.Errorf("cell not programmable after ClearFaults")
+	}
+}
+
+func TestFaultsPerturbDot(t *testing.T) {
+	clean := New(64, 4)
+	faulty := New(64, 4)
+	codes := make([]int, 64)
+	for i := range codes {
+		codes[i] = 0x55
+	}
+	if _, err := clean.ProgramWeightColumns(0, codes, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.InjectStuckFaults(0.2, stats.NewRNG(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.ProgramWeightColumns(0, codes, 8); err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, 64)
+	for i := range times {
+		times[i] = 100 * params.TDel
+	}
+	c := clean.SubRangedDot(times, 0, 8, params.TDel)
+	f := faulty.SubRangedDot(times, 0, 8, params.TDel)
+	if c == f {
+		t.Errorf("20%% stuck faults left the dot product unchanged (%v)", c)
+	}
+}

@@ -1,0 +1,161 @@
+// Package reram models the ReRAM crossbar arrays at the heart of TIMELY:
+// B×B grids of multi-level cells whose conductances encode weights and whose
+// column currents, integrated over the time-domain inputs, realise analog
+// dot products (paper §II-B, Fig. 3(a) and Fig. 6(e)).
+//
+// Conductances are kept in *level units*: a cell programmed to level g
+// (0..2^CellBits−1) contributes g per unit input time. The physical scale
+// (Gmax = 1/Rmin) cancels into the charging unit's full scale, mirroring how
+// Eq. 2 cancels Rmin. Device variation multiplies the level by (1+δ) with
+// Gaussian δ.
+package reram
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/stats"
+)
+
+// Crossbar is one B×B ReRAM array.
+type Crossbar struct {
+	// B is the array dimension.
+	B int
+	// CellBits is the per-cell weight width.
+	CellBits int
+	// levels holds the programmed level of each cell, row-major.
+	levels []uint8
+	// variation holds per-cell relative conductance errors (nil when ideal).
+	variation []float64
+	// faults holds per-cell stuck-at states (nil when fault-free).
+	faults []int8
+	// irDrop is the wire-resistance attenuation coefficient (0 = ideal).
+	irDrop float64
+}
+
+// New returns an erased (all-zero) crossbar. It panics on non-positive
+// dimensions, which are programming errors.
+func New(b, cellBits int) *Crossbar {
+	if b <= 0 || cellBits <= 0 || cellBits > 8 {
+		panic(fmt.Sprintf("reram: invalid crossbar %dx%d cells of %d bits", b, b, cellBits))
+	}
+	return &Crossbar{B: b, CellBits: cellBits, levels: make([]uint8, b*b)}
+}
+
+// MaxLevel returns the highest programmable level.
+func (x *Crossbar) MaxLevel() uint8 { return uint8(int(1)<<x.CellBits - 1) }
+
+// Program writes one cell. It returns an error if the coordinates are out
+// of range or the level exceeds the cell's capability.
+func (x *Crossbar) Program(row, col int, level uint8) error {
+	if row < 0 || row >= x.B || col < 0 || col >= x.B {
+		return fmt.Errorf("reram: cell (%d,%d) outside %dx%d array", row, col, x.B, x.B)
+	}
+	if level > x.MaxLevel() {
+		return fmt.Errorf("reram: level %d exceeds %d-bit cell", level, x.CellBits)
+	}
+	if x.faults != nil && x.faults[row*x.B+col] != faultNone {
+		// Stuck cells ignore programming (the write-verify loop gives up).
+		return nil
+	}
+	x.levels[row*x.B+col] = level
+	return nil
+}
+
+// Level reads back a programmed level.
+func (x *Crossbar) Level(row, col int) uint8 { return x.levels[row*x.B+col] }
+
+// ApplyVariation draws an independent Gaussian relative conductance error
+// with the given sigma for every cell (the ReRAM device-variation model the
+// accuracy study injects alongside circuit noise).
+func (x *Crossbar) ApplyVariation(sigma float64, rng *stats.RNG) {
+	if sigma == 0 {
+		x.variation = nil
+		return
+	}
+	x.variation = make([]float64, len(x.levels))
+	for i := range x.variation {
+		x.variation[i] = rng.Gauss(0, sigma)
+	}
+}
+
+// SetIRDrop configures wire-resistance (IR-drop) attenuation: the effective
+// conductance of the cell at (row, col) scales by 1/(1 + α·(row+col)/2B),
+// the standard first-order model where cells far from the drivers and the
+// sensing column see a degraded voltage. α = 0 disables the effect. TIMELY
+// bounds α by keeping arrays at 256×256 and re-driving signals through ALBs
+// (§V: the buffers "increase the driving ability of loads").
+func (x *Crossbar) SetIRDrop(alpha float64) { x.irDrop = alpha }
+
+// cond returns the effective conductance of a cell in level units.
+func (x *Crossbar) cond(row, col int) float64 {
+	g := float64(x.levels[row*x.B+col])
+	if x.variation != nil {
+		g *= 1 + x.variation[row*x.B+col]
+	}
+	if x.irDrop != 0 {
+		g /= 1 + x.irDrop*float64(row+col)/float64(2*x.B)
+	}
+	return g
+}
+
+// ColumnDot integrates the column current over the applied input times:
+// it returns Σᵢ times[i]·g[i][col] / TDel-units, i.e. the dot value the
+// charging unit consumes. times must have length ≤ B; missing rows float
+// (contribute nothing). tdel converts times (ps) into code units.
+func (x *Crossbar) ColumnDot(times []float64, col int, tdel float64) float64 {
+	if col < 0 || col >= x.B {
+		panic(fmt.Sprintf("reram: column %d outside array", col))
+	}
+	if len(times) > x.B {
+		panic(fmt.Sprintf("reram: %d input rows exceed array size %d", len(times), x.B))
+	}
+	dot := 0.0
+	for i, t := range times {
+		if g := x.cond(i, col); g != 0 {
+			dot += t / tdel * g
+		}
+	}
+	return dot
+}
+
+// ProgramWeightColumns writes one weight vector (unsigned codes of
+// weightBits width, one per row) into the sub-ranged column group starting
+// at col0: ⌈weightBits/CellBits⌉ adjacent columns holding big-endian
+// nibbles, the §IV-C MSB/LSB layout. It returns the number of columns used.
+func (x *Crossbar) ProgramWeightColumns(col0 int, codes []int, weightBits int) (int, error) {
+	ncols := (weightBits + x.CellBits - 1) / x.CellBits
+	if col0 < 0 || col0+ncols > x.B {
+		return 0, fmt.Errorf("reram: weight columns [%d,%d) outside array", col0, col0+ncols)
+	}
+	if len(codes) > x.B {
+		return 0, fmt.Errorf("reram: %d weights exceed %d rows", len(codes), x.B)
+	}
+	for row, code := range codes {
+		if code < 0 || code >= 1<<weightBits {
+			return 0, fmt.Errorf("reram: weight code %d out of %d-bit range", code, weightBits)
+		}
+		for i, nb := range fixed.Split(code, weightBits, x.CellBits) {
+			if err := x.Program(row, col0+i, nb); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return ncols, nil
+}
+
+// SubRangedDot computes the recombined dot product of the weight-column
+// group at col0 against the applied input times, in code units:
+// Σ over nibble columns of dot_i · 2^(CellBits·(n−1−i)). This is the digital
+// shift-and-add of Fig. 6(a) ⑤ applied to exact column dots; the functional
+// TIMELY pipeline in package core routes the same quantities through
+// charging units and TDCs instead.
+func (x *Crossbar) SubRangedDot(times []float64, col0, weightBits int, tdel float64) float64 {
+	ncols := (weightBits + x.CellBits - 1) / x.CellBits
+	dot := 0.0
+	for i := 0; i < ncols; i++ {
+		shift := x.CellBits * (ncols - 1 - i)
+		dot += x.ColumnDot(times, col0+i, tdel) * float64(int64(1)<<shift)
+	}
+	return dot
+}

@@ -1,0 +1,177 @@
+// Package trace provides cycle-level simulations of TIMELY's two pipelines
+// (§IV-E): the five-stage intra-sub-chip pipeline (input read → DTC →
+// analog computation → TDC → output write) and the inter-sub-chip layer
+// pipeline. The discrete-event models cross-validate the closed-form timing
+// used by the analytic simulator (package pipeline): the intra pipeline's
+// fill behaviour reproduces the paper's narration ("the first data ... is
+// written back to an output buffer at the fifth cycle; meanwhile, at the
+// fifth cycle, the fifth, fourth, third, and second data is read, converted
+// by a DTC, computed ..."), and the inter pipeline's measured steady-state
+// throughput converges to the analytic bottleneck.
+package trace
+
+import (
+	"fmt"
+)
+
+// Stage enumerates the intra-sub-chip pipeline stages in dataflow order.
+type Stage int
+
+const (
+	// StageRead reads inputs from the input buffer.
+	StageRead Stage = iota
+	// StageDTC converts digital inputs to time signals.
+	StageDTC
+	// StageAnalog covers dot products, charging and comparison.
+	StageAnalog
+	// StageTDC converts time psums back to digital.
+	StageTDC
+	// StageWrite writes results to the output buffer.
+	StageWrite
+	// NumStages is the pipeline depth (5).
+	NumStages
+)
+
+var stageNames = [NumStages]string{"read", "dtc", "analog", "tdc", "write"}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// Event is one (cycle, stage, item) occupancy record. Items and cycles are
+// 1-based, matching the paper's "first data ... at the first cycle".
+type Event struct {
+	Cycle int64
+	Stage Stage
+	Item  int64
+}
+
+// IntraPipeline models the five-stage pipeline over a stream of data items.
+type IntraPipeline struct {
+	// Items is the number of data items pushed through.
+	Items int64
+}
+
+// Makespan returns the total cycles to drain the pipeline: items + depth − 1.
+func (p IntraPipeline) Makespan() int64 {
+	if p.Items <= 0 {
+		return 0
+	}
+	return p.Items + int64(NumStages) - 1
+}
+
+// Simulate walks every occupancy event in cycle order. Item i occupies
+// stage s during cycle i+s (1-based), so the first item writes back at
+// cycle 5 — exactly the §IV-E narration.
+func (p IntraPipeline) Simulate(visit func(Event)) {
+	for cycle := int64(1); cycle <= p.Makespan(); cycle++ {
+		for s := Stage(0); s < NumStages; s++ {
+			item := cycle - int64(s)
+			if item >= 1 && item <= p.Items {
+				visit(Event{Cycle: cycle, Stage: s, Item: item})
+			}
+		}
+	}
+}
+
+// OccupancyAt returns which item (1-based; 0 = empty) occupies each stage
+// during the given cycle.
+func (p IntraPipeline) OccupancyAt(cycle int64) [NumStages]int64 {
+	var occ [NumStages]int64
+	for s := Stage(0); s < NumStages; s++ {
+		item := cycle - int64(s)
+		if item >= 1 && item <= p.Items {
+			occ[s] = item
+		}
+	}
+	return occ
+}
+
+// Utilization returns the fraction of stage-cycles doing useful work over
+// the makespan.
+func (p IntraPipeline) Utilization() float64 {
+	if p.Items <= 0 {
+		return 0
+	}
+	busy := float64(p.Items) * float64(NumStages)
+	return busy / (float64(p.Makespan()) * float64(NumStages))
+}
+
+// LayerStage is one stage of the inter-sub-chip pipeline: a layer (or layer
+// group) that needs Cycles pipeline-cycles per image and is replicated over
+// Instances sub-chip groups.
+type LayerStage struct {
+	Name      string
+	Cycles    int64
+	Instances int
+}
+
+// serviceCycles is the effective per-image service time of a stage.
+func (l LayerStage) serviceCycles() float64 {
+	if l.Instances < 1 {
+		return float64(l.Cycles)
+	}
+	return float64(l.Cycles) / float64(l.Instances)
+}
+
+// InterResult summarises an inter-pipeline simulation.
+type InterResult struct {
+	// Images is the number of images pushed through.
+	Images int
+	// TotalCycles is when the last image left the last stage.
+	TotalCycles float64
+	// SteadyInterval is the measured inter-departure interval over the
+	// second half of the run (steady state).
+	SteadyInterval float64
+	// FirstLatency is the first image's end-to-end latency.
+	FirstLatency float64
+}
+
+// SimulateInter runs images through the chained layer stages with
+// unbounded inter-stage buffering (each sub-chip's output buffer decouples
+// neighbours): stage s starts image i at max(done[s][i-1], done[s-1][i]).
+// It returns the measured timing, which must converge to the analytic
+// bottleneck max_l Cycles_l/Instances_l.
+func SimulateInter(stages []LayerStage, images int) InterResult {
+	if len(stages) == 0 || images <= 0 {
+		return InterResult{}
+	}
+	depart := make([]float64, len(stages)) // departure time of previous image per stage
+	var firstDone, prevDone, lastDone float64
+	var half []float64
+	for img := 0; img < images; img++ {
+		t := 0.0
+		for s, st := range stages {
+			start := t
+			if depart[s] > start {
+				start = depart[s]
+			}
+			t = start + st.serviceCycles()
+			depart[s] = t
+		}
+		if img == 0 {
+			firstDone = t
+		}
+		if img >= images/2 && img > 0 {
+			half = append(half, t-prevDone)
+		}
+		prevDone = t
+		lastDone = t
+	}
+	res := InterResult{
+		Images:       images,
+		TotalCycles:  lastDone,
+		FirstLatency: firstDone,
+	}
+	if len(half) > 0 {
+		sum := 0.0
+		for _, v := range half {
+			sum += v
+		}
+		res.SteadyInterval = sum / float64(len(half))
+	}
+	return res
+}

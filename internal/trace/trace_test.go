@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+)
+
+// TestIntraFirstWriteAtFifthCycle checks the §IV-E narration: the first
+// datum is read at cycle 1 and written back at cycle 5.
+func TestIntraFirstWriteAtFifthCycle(t *testing.T) {
+	p := IntraPipeline{Items: 10}
+	var firstWrite int64
+	p.Simulate(func(e Event) {
+		if e.Stage == StageWrite && e.Item == 1 && firstWrite == 0 {
+			firstWrite = e.Cycle
+		}
+	})
+	if firstWrite != 5 {
+		t.Errorf("first write at cycle %d, want 5 (§IV-E)", firstWrite)
+	}
+}
+
+// TestIntraFifthCycleOccupancy checks the full §IV-E snapshot: "at the
+// fifth cycle, the fifth, fourth, third, and second data is read, converted
+// by a DTC, computed in the analog-domain, and converted by a TDC".
+func TestIntraFifthCycleOccupancy(t *testing.T) {
+	p := IntraPipeline{Items: 10}
+	occ := p.OccupancyAt(5)
+	want := [NumStages]int64{5, 4, 3, 2, 1}
+	if occ != want {
+		t.Errorf("cycle-5 occupancy = %v, want %v", occ, want)
+	}
+}
+
+func TestIntraMakespan(t *testing.T) {
+	if got := (IntraPipeline{Items: 1}).Makespan(); got != 5 {
+		t.Errorf("single-item makespan = %d, want 5", got)
+	}
+	if got := (IntraPipeline{Items: 100}).Makespan(); got != 104 {
+		t.Errorf("100-item makespan = %d, want 104", got)
+	}
+	if got := (IntraPipeline{}).Makespan(); got != 0 {
+		t.Errorf("empty makespan = %d", got)
+	}
+}
+
+func TestIntraUtilizationApproachesOne(t *testing.T) {
+	small := IntraPipeline{Items: 5}.Utilization()
+	large := IntraPipeline{Items: 5000}.Utilization()
+	if large <= small {
+		t.Errorf("utilization not increasing: %.3f -> %.3f", small, large)
+	}
+	if large < 0.999 {
+		t.Errorf("long-stream utilization = %.4f, want ≈1", large)
+	}
+}
+
+// TestIntraEventConsistencyProperty: every item visits every stage exactly
+// once, in order.
+func TestIntraEventConsistencyProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int64(nRaw%50) + 1
+		p := IntraPipeline{Items: n}
+		visits := make(map[int64][]Stage)
+		ok := true
+		p.Simulate(func(e Event) {
+			seq := visits[e.Item]
+			if len(seq) > 0 && seq[len(seq)-1]+1 != e.Stage {
+				ok = false
+			}
+			if len(seq) == 0 && e.Stage != StageRead {
+				ok = false
+			}
+			visits[e.Item] = append(seq, e.Stage)
+		})
+		if int64(len(visits)) != n {
+			return false
+		}
+		for _, seq := range visits {
+			if len(seq) != int(NumStages) {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterMatchesAnalyticBottleneck: the event-driven inter-layer pipeline
+// must converge to the closed-form bottleneck of package pipeline.
+func TestInterMatchesAnalyticBottleneck(t *testing.T) {
+	stages := []LayerStage{
+		{"conv1", 2240, 3},
+		{"conv2", 1120, 1},
+		{"conv3", 300, 2},
+		{"fc", 10, 1},
+	}
+	res := SimulateInter(stages, 400)
+	pstages := make([]pipeline.Stage, len(stages))
+	inst := make([]int, len(stages))
+	for i, s := range stages {
+		pstages[i] = pipeline.Stage{Name: s.Name, Work: float64(s.Cycles), MinUnits: 1}
+		inst[i] = s.Instances
+	}
+	want := pipeline.BottleneckCycles(pstages, inst)
+	if math.Abs(res.SteadyInterval-want)/want > 0.01 {
+		t.Errorf("measured steady interval = %.1f cycles, analytic bottleneck = %.1f", res.SteadyInterval, want)
+	}
+}
+
+// TestInterFirstLatencyIsSumOfStages: with an empty pipeline the first
+// image's latency is the serial sum of stage times.
+func TestInterFirstLatencyIsSumOfStages(t *testing.T) {
+	stages := []LayerStage{{"a", 100, 1}, {"b", 50, 2}, {"c", 10, 1}}
+	res := SimulateInter(stages, 10)
+	want := 100.0 + 25 + 10
+	if math.Abs(res.FirstLatency-want) > 1e-9 {
+		t.Errorf("first latency = %v, want %v", res.FirstLatency, want)
+	}
+}
+
+// TestInterThroughputScalesWithInstances: replicating the bottleneck stage
+// must raise throughput proportionally.
+func TestInterThroughputScalesWithInstances(t *testing.T) {
+	base := SimulateInter([]LayerStage{{"hot", 1000, 1}, {"cold", 10, 1}}, 200)
+	dup := SimulateInter([]LayerStage{{"hot", 1000, 4}, {"cold", 10, 1}}, 200)
+	if ratio := base.SteadyInterval / dup.SteadyInterval; math.Abs(ratio-4) > 0.05 {
+		t.Errorf("4x duplication sped up %.2fx, want ≈4x", ratio)
+	}
+}
+
+func TestInterDegenerate(t *testing.T) {
+	if res := SimulateInter(nil, 10); res.TotalCycles != 0 {
+		t.Errorf("empty stage list produced cycles")
+	}
+	if res := SimulateInter([]LayerStage{{"a", 1, 1}}, 0); res.TotalCycles != 0 {
+		t.Errorf("zero images produced cycles")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageRead.String() != "read" || StageWrite.String() != "write" {
+		t.Errorf("stage names wrong")
+	}
+	if Stage(9).String() == "" {
+		t.Errorf("out-of-range stage name empty")
+	}
+}

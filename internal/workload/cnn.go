@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Convolutional workload for the accuracy study: synthetic oriented-grating
+// images classified by a small CNN whose convolutional features come from a
+// fixed random filter bank (random-feature / "kitchen sink" construction —
+// only the fully-connected head is trained, which keeps the pure-Go trainer
+// small while still exercising TIMELY's convolution datapath end to end).
+
+// ImageDataset holds labelled single-channel 8-bit images.
+type ImageDataset struct {
+	X       []*tensor.Int
+	Y       []int
+	Size    int // images are Size×Size
+	Classes int
+}
+
+// Len returns the sample count.
+func (d *ImageDataset) Len() int { return len(d.X) }
+
+// Split partitions into train/test.
+func (d *ImageDataset) Split(frac float64) (train, test *ImageDataset) {
+	cut := int(float64(d.Len()) * frac)
+	train = &ImageDataset{X: d.X[:cut], Y: d.Y[:cut], Size: d.Size, Classes: d.Classes}
+	test = &ImageDataset{X: d.X[cut:], Y: d.Y[cut:], Size: d.Size, Classes: d.Classes}
+	return train, test
+}
+
+// SyntheticImages draws n oriented-grating images over `classes`
+// orientations with additive pixel noise: class k is a sinusoidal grating at
+// angle k·π/classes, quantised into 8-bit codes.
+func SyntheticImages(rng *stats.RNG, n, size, classes int, noise float64) *ImageDataset {
+	if n <= 0 || size <= 0 || classes <= 1 {
+		panic(fmt.Sprintf("workload: invalid image dataset n=%d size=%d classes=%d", n, size, classes))
+	}
+	d := &ImageDataset{Size: size, Classes: classes}
+	freq := 2 * math.Pi / float64(size) * 2.5
+	for i := 0; i < n; i++ {
+		k := rng.Intn(classes)
+		angle := float64(k) * math.Pi / float64(classes)
+		dx, dy := math.Cos(angle), math.Sin(angle)
+		phase := rng.Float64() * 2 * math.Pi
+		img := tensor.NewInt(1, size, size)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				v := 128 + 100*math.Sin(freq*(dx*float64(x)+dy*float64(y))+phase)
+				v += rng.Gauss(0, noise*255)
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				img.Set(0, y, x, int32(math.Round(v)))
+			}
+		}
+		d.X = append(d.X, img)
+		d.Y = append(d.Y, k)
+	}
+	return d
+}
+
+// CNN is the random-feature convolutional classifier: a fixed signed-integer
+// filter bank, ReLU, max pooling, then a trained MLP head over the flattened
+// feature codes.
+type CNN struct {
+	// Filters is the fixed random conv bank (signed codes).
+	Filters *tensor.Filter
+	// Stride/Pad of the convolution; PoolK/PoolS of the max pool.
+	Stride, Pad, PoolK, PoolS int
+	// FeatShift requantises conv psums into 8-bit feature codes.
+	FeatShift int
+	// Head is the trained classifier over flattened features.
+	Head *QuantMLP
+	// headFloat keeps the float head for accuracy reference.
+	headFloat *MLP
+}
+
+// NewCNN builds the feature extractor with d random 3×3 filters (codes in
+// [-maxW, maxW]) for size×size inputs.
+func NewCNN(rng *stats.RNG, d, maxW int) *CNN {
+	f := tensor.NewFilter(d, 1, 3, 3)
+	for i := range f.Data {
+		f.Data[i] = int32(rng.Intn(2*maxW+1)) - int32(maxW)
+	}
+	return &CNN{Filters: f, Stride: 1, Pad: 1, PoolK: 2, PoolS: 2}
+}
+
+// features runs the integer feature path: conv → requant(ReLU) → pool.
+func (c *CNN) features(img *tensor.Int) *tensor.Int {
+	conv := tensor.Conv2D(img, c.Filters, nil, c.Stride, c.Pad)
+	tensor.RequantizeShift(conv, c.FeatShift, 255)
+	return tensor.MaxPool2D(conv, c.PoolK, c.PoolS)
+}
+
+// featVec flattens a feature tensor into normalised float64s for the head
+// (codes scaled into [0,1] so the SGD head trains stably; the head's input
+// quantiser recovers 8-bit codes from the same scale).
+func featVec(t *tensor.Int) []float64 {
+	out := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = float64(v) / 255
+	}
+	return out
+}
+
+// Train calibrates the feature shift on the training images, extracts
+// features and trains the FC head. Returns the final training loss.
+func (c *CNN) Train(rng *stats.RNG, train *ImageDataset, hidden, epochs int, lr float64) (float64, error) {
+	if train.Len() == 0 {
+		return 0, fmt.Errorf("workload: empty training set")
+	}
+	// Calibrate the requantisation shift over the training set.
+	maxPsum := int32(0)
+	for _, img := range train.X {
+		conv := tensor.Conv2D(img, c.Filters, nil, c.Stride, c.Pad)
+		for _, v := range conv.Data {
+			if v > maxPsum {
+				maxPsum = v
+			}
+		}
+	}
+	c.FeatShift = 0
+	for maxPsum>>uint(c.FeatShift) > 255 {
+		c.FeatShift++
+	}
+	// Extract features and train the float head.
+	feats := &Dataset{Dim: 0, Classes: train.Classes}
+	for i, img := range train.X {
+		v := featVec(c.features(img))
+		feats.Dim = len(v)
+		feats.X = append(feats.X, v)
+		feats.Y = append(feats.Y, train.Y[i])
+	}
+	c.headFloat = NewMLP(rng, feats.Dim, hidden, train.Classes)
+	loss := c.headFloat.Train(feats, rng, epochs, lr)
+	q, err := Quantize(c.headFloat, feats, 8)
+	if err != nil {
+		return 0, err
+	}
+	c.Head = q
+	return loss, nil
+}
+
+// PredictInt classifies one image through the exact integer path.
+func (c *CNN) PredictInt(img *tensor.Int) int {
+	return c.Head.PredictInt(featVec(c.features(img)))
+}
+
+// AccuracyInt evaluates the integer path.
+func (c *CNN) AccuracyInt(d *ImageDataset) float64 {
+	hit := 0
+	for i, img := range d.X {
+		if c.PredictInt(img) == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(d.Len())
+}
+
+// AnalogCNN is a CNN programmed onto functional TIMELY sub-chips: one for
+// the conv bank, plus the head's layers.
+type AnalogCNN struct {
+	cnn      *CNN
+	convMap  *core.MappedLayer
+	head     *AnalogMLP
+	faultMap int // total stuck cells injected (0 when clean)
+}
+
+// MapAnalog programs the conv filter bank and the head. faultRate > 0
+// additionally pins that fraction of the conv sub-chip's cells as stuck-at
+// faults before programming (the defect ablation; requires opt.Noise).
+func (c *CNN) MapAnalog(opt core.Options, faultRate float64) (*AnalogCNN, error) {
+	if c.Head == nil {
+		return nil, fmt.Errorf("workload: CNN not trained")
+	}
+	sc := core.NewSubChip(opt)
+	faults := 0
+	if faultRate > 0 {
+		fm, err := sc.InjectFaults(faultRate)
+		if err != nil {
+			return nil, err
+		}
+		faults = fm.Total()
+	}
+	convMap, err := sc.MapDense(core.FlattenFilter(c.Filters))
+	if err != nil {
+		return nil, err
+	}
+	head, err := c.Head.MapAnalog(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalogCNN{cnn: c, convMap: convMap, head: head, faultMap: faults}, nil
+}
+
+// Faults returns the number of stuck cells injected at mapping time.
+func (a *AnalogCNN) Faults() int { return a.faultMap }
+
+// Predict classifies one image through the analog pipeline: conv psums from
+// the mapped crossbars, digital requantisation + pooling, then the analog
+// head.
+func (a *AnalogCNN) Predict(img *tensor.Int) (int, error) {
+	c := a.cnn
+	cols, e, f := tensor.Im2Col(img, c.Filters.Z, c.Filters.G, c.Stride, c.Pad)
+	conv := tensor.NewInt(c.Filters.D, e, f)
+	inputs := make([]int, len(cols))
+	for p := 0; p < e*f; p++ {
+		for r := range cols {
+			inputs[r] = int(cols[r][p])
+		}
+		psums, err := a.convMap.Compute(inputs)
+		if err != nil {
+			return 0, err
+		}
+		for d, v := range psums {
+			conv.Data[d*e*f+p] = int32(v)
+		}
+	}
+	tensor.RequantizeShift(conv, c.FeatShift, 255)
+	pooled := tensor.MaxPool2D(conv, c.PoolK, c.PoolS)
+	return a.head.Predict(featVec(pooled))
+}
+
+// Accuracy evaluates the analog pipeline over a dataset.
+func (a *AnalogCNN) Accuracy(d *ImageDataset) (float64, error) {
+	hit := 0
+	for i, img := range d.X {
+		p, err := a.Predict(img)
+		if err != nil {
+			return 0, err
+		}
+		if p == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(d.Len()), nil
+}

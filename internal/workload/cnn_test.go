@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/stats"
+)
+
+func trainedCNN(t *testing.T, seed uint64) (*CNN, *ImageDataset, *ImageDataset) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	ds := SyntheticImages(rng, 600, 12, 4, 0.05)
+	train, test := ds.Split(0.8)
+	cnn := NewCNN(rng, 8, 7)
+	if _, err := cnn.Train(rng, train, 32, 25, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	return cnn, train, test
+}
+
+func TestSyntheticImages(t *testing.T) {
+	rng := stats.NewRNG(1)
+	ds := SyntheticImages(rng, 50, 12, 4, 0.05)
+	if ds.Len() != 50 {
+		t.Fatalf("images = %d", ds.Len())
+	}
+	for i, img := range ds.X {
+		if img.Shape.C != 1 || img.Shape.H != 12 || img.Shape.W != 12 {
+			t.Fatalf("image %d shape %v", i, img.Shape)
+		}
+		for _, v := range img.Data {
+			if v < 0 || v > 255 {
+				t.Fatalf("pixel %d outside 8-bit range", v)
+			}
+		}
+	}
+}
+
+func TestCNNLearns(t *testing.T) {
+	cnn, train, test := trainedCNN(t, 5)
+	if acc := cnn.AccuracyInt(train); acc < 0.9 {
+		t.Errorf("train accuracy = %.3f, want ≥0.9", acc)
+	}
+	if acc := cnn.AccuracyInt(test); acc < 0.85 {
+		t.Errorf("test accuracy = %.3f, want ≥0.85 (oriented gratings)", acc)
+	}
+}
+
+// TestAnalogCNNMatchesIntegerIdeal: the full conv+head pipeline through
+// functional TIMELY in ideal mode must classify identically to the integer
+// reference.
+func TestAnalogCNNMatchesIntegerIdeal(t *testing.T) {
+	cnn, _, test := trainedCNN(t, 7)
+	a, err := cnn.MapAnalog(core.IdealOptions(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range test.X {
+		want := cnn.PredictInt(img)
+		got, err := a.Predict(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("image %d: analog %d, integer %d", i, got, want)
+		}
+	}
+}
+
+// TestAnalogCNNDesignPointNoise: the conv pipeline keeps its accuracy at the
+// paper's design-point circuit noise.
+func TestAnalogCNNDesignPointNoise(t *testing.T) {
+	cnn, _, test := trainedCNN(t, 9)
+	base := cnn.AccuracyInt(test)
+	a, err := cnn.MapAnalog(core.Options{
+		Noise:         analog.DefaultNoise(33),
+		InterfaceBits: 24,
+		InputHops:     params.MaxCascadedXSubBufs,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base-got > 0.01 {
+		t.Errorf("design-point noise cost %.3f accuracy (%.3f -> %.3f)", base-got, base, got)
+	}
+}
+
+// TestAnalogCNNFaultResilience: small stuck-at-fault rates leave accuracy
+// largely intact (§V's algorithm-resilience argument); large rates break it.
+func TestAnalogCNNFaultResilience(t *testing.T) {
+	cnn, _, test := trainedCNN(t, 11)
+	base := cnn.AccuracyInt(test)
+	accAt := func(rate float64) float64 {
+		a, err := cnn.MapAnalog(core.Options{
+			Noise:         &analog.Noise{RNG: stats.NewRNG(55)},
+			InterfaceBits: 24,
+		}, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate > 0 && a.Faults() == 0 {
+			t.Fatalf("no faults injected at rate %v", rate)
+		}
+		acc, err := a.Accuracy(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	small := accAt(0.001)
+	if base-small > 0.10 {
+		t.Errorf("0.1%% faults cost %.3f accuracy (%.3f -> %.3f): too fragile", base-small, base, small)
+	}
+	large := accAt(0.30)
+	if large > small {
+		t.Errorf("30%% faults (%.3f) not worse than 0.1%% faults (%.3f)", large, small)
+	}
+}
+
+func TestMapAnalogErrors(t *testing.T) {
+	cnn := NewCNN(stats.NewRNG(1), 4, 7)
+	if _, err := cnn.MapAnalog(core.IdealOptions(nil), 0); err == nil {
+		t.Errorf("mapping an untrained CNN accepted")
+	}
+	// Fault injection without an RNG must fail.
+	cnn2, _, _ := trainedCNN(t, 13)
+	if _, err := cnn2.MapAnalog(core.IdealOptions(nil), 0.1); err == nil {
+		t.Errorf("fault injection without noise RNG accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func trainedConvNet(t *testing.T, seed uint64) (*ConvNet, *ImageDataset, *ImageDataset) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	ds := SyntheticImages(rng, 600, 12, 4, 0.08)
+	train, test := ds.Split(0.8)
+	n := NewConvNet(rng, 12, 8, 32, 4)
+	n.Train(train, rng, 15, 0.05)
+	return n, train, test
+}
+
+func TestConvNetLearnsEndToEnd(t *testing.T) {
+	n, train, test := trainedConvNet(t, 3)
+	if acc := n.Accuracy(train); acc < 0.9 {
+		t.Errorf("train accuracy = %.3f, want ≥0.9", acc)
+	}
+	if acc := n.Accuracy(test); acc < 0.85 {
+		t.Errorf("test accuracy = %.3f, want ≥0.85", acc)
+	}
+}
+
+func TestConvNetTrainingMovesFilters(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ds := SyntheticImages(rng, 200, 12, 4, 0.08)
+	n := NewConvNet(rng, 12, 4, 16, 4)
+	before := append([]float64(nil), n.W...)
+	l1 := n.Train(ds, rng, 1, 0.05)
+	l10 := n.Train(ds, rng, 10, 0.05)
+	if l10 >= l1 {
+		t.Errorf("loss did not decrease: %.4f -> %.4f", l1, l10)
+	}
+	moved := 0.0
+	for i := range n.W {
+		moved += math.Abs(n.W[i] - before[i])
+	}
+	if moved == 0 {
+		t.Errorf("conv filters did not move: backprop through conv is dead")
+	}
+}
+
+// TestConvGradientNumeric spot-checks the conv weight gradient against a
+// central finite difference.
+func TestConvGradientNumeric(t *testing.T) {
+	rng := stats.NewRNG(7)
+	ds := SyntheticImages(rng, 4, 8, 2, 0.05)
+	n := NewConvNet(rng, 8, 2, 8, 2)
+	img, label := ds.X[0], ds.Y[0]
+
+	lossOf := func(m *ConvNet) float64 {
+		conv := m.convForward(normalize(img))
+		feat, _ := m.poolForward(conv)
+		acts := m.Head.forward(feat)
+		probs := softmax(acts[len(acts)-1])
+		return -math.Log(math.Max(probs[label], 1e-12))
+	}
+
+	// Analytic gradient of one weight via a tiny-LR step (grad ≈ Δw/lr).
+	const wIdx = 3
+	const lr = 1e-6
+	clone := &ConvNet{}
+	*clone = *n
+	clone.W = append([]float64(nil), n.W...)
+	clone.B = append([]float64(nil), n.B...)
+	clone.Head = n.Head.clone()
+	before := clone.W[wIdx]
+	clone.step(img, label, lr)
+	analytic := (before - clone.W[wIdx]) / lr
+
+	// Numeric gradient.
+	const h = 1e-5
+	n.W[wIdx] = before + h
+	lp := lossOf(n)
+	n.W[wIdx] = before - h
+	lm := lossOf(n)
+	n.W[wIdx] = before
+	numeric := (lp - lm) / (2 * h)
+
+	if math.Abs(analytic-numeric) > 1e-3*(1+math.Abs(numeric)) {
+		t.Errorf("conv gradient mismatch: step-implied %.6g, numeric %.6g", analytic, numeric)
+	}
+}
+
+func TestConvNetQuantizePreservesAccuracy(t *testing.T) {
+	n, train, test := trainedConvNet(t, 9)
+	rng := stats.NewRNG(99)
+	cnn, err := n.Quantize(rng, train, 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accF := n.Accuracy(test)
+	accQ := cnn.AccuracyInt(test)
+	if accF-accQ > 0.06 {
+		t.Errorf("quantisation cost %.3f accuracy (%.3f -> %.3f)", accF-accQ, accF, accQ)
+	}
+}
+
+// TestTrainedConvNetRunsOnAnalogPipeline: the fully trained and quantised
+// ConvNet classifies identically on functional TIMELY (ideal mode) as on
+// the integer reference.
+func TestTrainedConvNetRunsOnAnalogPipeline(t *testing.T) {
+	n, train, test := trainedConvNet(t, 11)
+	rng := stats.NewRNG(101)
+	cnn, err := n.Quantize(rng, train, 5, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cnn.MapAnalog(core.IdealOptions(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range test.X {
+		want := cnn.PredictInt(img)
+		got, err := a.Predict(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("image %d: analog %d, integer %d", i, got, want)
+		}
+	}
+}
+
+func TestQuantizeErrorsConvNet(t *testing.T) {
+	rng := stats.NewRNG(1)
+	n := NewConvNet(rng, 12, 4, 16, 4)
+	if _, err := n.Quantize(rng, &ImageDataset{}, 1, 0.01); err == nil {
+		t.Errorf("empty calibration set accepted")
+	}
+}

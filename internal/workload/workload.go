@@ -1,0 +1,270 @@
+// Package workload provides the training substrate for the paper's accuracy
+// study (§VI-B): synthetic classification datasets, a pure-Go SGD-trained
+// MLP, and post-training quantisation onto TIMELY's 8-bit datapath. The
+// paper measures ≤0.1 % inference-accuracy loss under injected circuit
+// noise; since ImageNet is not available offline, the same methodology runs
+// on synthetic Gaussian-cluster data — the claim under test (accuracy delta
+// between ideal and noisy analog execution of the same quantised network) is
+// dataset-agnostic (see DESIGN.md "substitutions").
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Dataset is a labelled set of real-valued feature vectors.
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Dim     int
+	Classes int
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// SyntheticClusters draws n samples from `classes` Gaussian clusters with
+// unit-box centres and the given intra-cluster spread. Features are shifted
+// to be non-negative (post-ReLU-like), matching TIMELY's unsigned input
+// encoding.
+func SyntheticClusters(rng *stats.RNG, n, dim, classes int, spread float64) *Dataset {
+	if n <= 0 || dim <= 0 || classes <= 1 {
+		panic(fmt.Sprintf("workload: invalid dataset spec n=%d dim=%d classes=%d", n, dim, classes))
+	}
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64()
+		}
+	}
+	d := &Dataset{Dim: dim, Classes: classes}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(classes)
+		x := make([]float64, dim)
+		for j := range x {
+			v := centers[c][j] + rng.Gauss(0, spread)
+			if v < 0 {
+				v = 0
+			}
+			x[j] = v
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// Split partitions the dataset into train/test at the given fraction.
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	cut := int(float64(d.Len()) * trainFrac)
+	train = &Dataset{X: d.X[:cut], Y: d.Y[:cut], Dim: d.Dim, Classes: d.Classes}
+	test = &Dataset{X: d.X[cut:], Y: d.Y[cut:], Dim: d.Dim, Classes: d.Classes}
+	return train, test
+}
+
+// MLP is a fully-connected ReLU network trained with SGD on softmax
+// cross-entropy.
+type MLP struct {
+	// Sizes holds layer widths, input first.
+	Sizes []int
+	// W[l][o][i] and B[l][o] are the trainable parameters.
+	W [][][]float64
+	B [][]float64
+}
+
+// NewMLP builds an MLP with He-style random initialisation.
+func NewMLP(rng *stats.RNG, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("workload: MLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: sizes}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([][]float64, out)
+		scale := math.Sqrt(2 / float64(in))
+		for o := range w {
+			w[o] = make([]float64, in)
+			for i := range w[o] {
+				w[o][i] = rng.Gauss(0, scale)
+			}
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m
+}
+
+// forward returns all layer activations (post-ReLU except the last).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := [][]float64{x}
+	cur := x
+	for l := range m.W {
+		next := make([]float64, len(m.W[l]))
+		last := l == len(m.W)-1
+		for o, row := range m.W[l] {
+			s := m.B[l][o]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if !last && s < 0 {
+				s = 0
+			}
+			next[o] = s
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+// Predict returns the argmax class for x.
+func (m *MLP) Predict(x []float64) int {
+	acts := m.forward(x)
+	return argmaxF(acts[len(acts)-1])
+}
+
+// Accuracy returns the fraction of correctly classified samples.
+func (m *MLP) Accuracy(d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range d.X {
+		if m.Predict(x) == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(d.Len())
+}
+
+// Train runs SGD for the given epochs and learning rate, returning the final
+// average cross-entropy loss. Sample order reshuffles each epoch with rng.
+func (m *MLP) Train(d *Dataset, rng *stats.RNG, epochs int, lr float64) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		loss = 0
+		for _, s := range idx {
+			loss += m.step(d.X[s], d.Y[s], lr)
+		}
+		loss /= float64(d.Len())
+	}
+	return loss
+}
+
+// TrainWithNoise trains while injecting Gaussian perturbations into the
+// forward activations, the noise-aware training the paper adopts from
+// [53],[54],[57] to absorb analog errors.
+func (m *MLP) TrainWithNoise(d *Dataset, rng *stats.RNG, epochs int, lr, actSigma float64) float64 {
+	if actSigma == 0 {
+		return m.Train(d, rng, epochs, lr)
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		loss = 0
+		for _, s := range idx {
+			x := make([]float64, len(d.X[s]))
+			for j, v := range d.X[s] {
+				x[j] = v * (1 + rng.Gauss(0, actSigma))
+			}
+			loss += m.step(x, d.Y[s], lr)
+		}
+		loss /= float64(d.Len())
+	}
+	return loss
+}
+
+// step performs one SGD update and returns the sample loss.
+func (m *MLP) step(x []float64, y int, lr float64) float64 {
+	loss, _ := m.stepWithInputGrad(x, y, lr)
+	return loss
+}
+
+// stepWithInputGrad performs one SGD update and additionally returns the
+// loss gradient with respect to the input vector (un-gated — upstream
+// layers apply their own activation derivative), which lets convolutional
+// front-ends backpropagate through the head.
+func (m *MLP) stepWithInputGrad(x []float64, y int, lr float64) (float64, []float64) {
+	acts := m.forward(x)
+	out := acts[len(acts)-1]
+	probs := softmax(out)
+	loss := -math.Log(math.Max(probs[y], 1e-12))
+	// Backprop: delta at output = probs - onehot.
+	delta := make([]float64, len(out))
+	copy(delta, probs)
+	delta[y] -= 1
+	var inputGrad []float64
+	for l := len(m.W) - 1; l >= 0; l-- {
+		in := acts[l]
+		prev := make([]float64, len(in))
+		for o, row := range m.W[l] {
+			g := delta[o]
+			m.B[l][o] -= lr * g
+			for i := range row {
+				prev[i] += g * row[i]
+				row[i] -= lr * g * in[i]
+			}
+		}
+		if l > 0 {
+			// ReLU derivative of the hidden activation.
+			for i, v := range in {
+				if v <= 0 {
+					prev[i] = 0
+				}
+			}
+			delta = prev
+		} else {
+			inputGrad = prev
+		}
+	}
+	return loss, inputGrad
+}
+
+func softmax(xs []float64) []float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = math.Exp(v - m)
+		s += out[i]
+	}
+	for i := range out {
+		out[i] /= s
+	}
+	return out
+}
+
+func argmaxF(xs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ErrUntrained is returned when quantising a degenerate model.
+var ErrUntrained = errors.New("workload: model has no layers")
