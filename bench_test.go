@@ -2,12 +2,16 @@ package repro
 
 // The benchmark harness: one benchmark per table/figure of the paper's
 // evaluation (§VI), regenerating the corresponding rows/series each
-// iteration, plus micro-benchmarks of the simulator hot paths. Key
-// reproduced quantities are attached as custom benchmark metrics so the
-// bench output doubles as a results summary.
+// iteration, plus micro-benchmarks of the simulator hot paths and the
+// serial-vs-parallel RunAll comparison. Key reproduced quantities are
+// attached as custom benchmark metrics so the bench output doubles as a
+// results summary. Per-artifact benchmarks share the experiments package's
+// memoized inputs across iterations; the RunAll benchmarks reset those
+// caches each iteration to time cold, end-to-end executions.
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/accel"
@@ -130,6 +134,29 @@ func BenchmarkAccuracy(b *testing.B) {
 // BenchmarkAblation runs the §V design-choice ablations (γ sweep, defect
 // sweep with CNN training, signed-scheme table).
 func BenchmarkAblation(b *testing.B) { renderNull(b, "ablation") }
+
+// --- whole-suite runner benchmarks ---
+
+// benchRunAll times one cold execution of the full registry per iteration
+// at the given worker count (caches reset so nothing is amortised away).
+func benchRunAll(b *testing.B, par int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
+		for _, r := range experiments.Run(experiments.All(), par) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSerial times the full artifact suite on one worker.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel times the full artifact suite on GOMAXPROCS
+// workers; compare against BenchmarkRunAllSerial for the speedup.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
 
 // --- simulator micro-benchmarks ---
 

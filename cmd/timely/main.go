@@ -3,60 +3,207 @@
 //
 // Usage:
 //
-//	timely list             enumerate the available experiments
-//	timely all              run every experiment
-//	timely <id> [...]       run specific experiments (fig4, table5, ...)
+//	timely list                     enumerate the available experiments
+//	timely all [flags]              run every experiment
+//	timely <id> [...] [flags]       run specific experiments (fig4, table5, ...)
+//
+// Flags (after the experiment names):
+//
+//	-format text|csv|json   output format (default text)
+//	-out <dir>              write one file per experiment into dir
+//	-par N                  run N experiments concurrently (default GOMAXPROCS)
+//	-v                      print a per-experiment timing summary to stderr
+//
+// Experiments execute on a worker pool; output is always emitted in the
+// requested order regardless of completion order, so -par does not change
+// the bytes produced.
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "timely:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	if len(args) == 0 {
-		usage()
-		return nil
-	}
-	switch args[0] {
-	case "list":
-		for _, e := range experiments.All() {
-			fmt.Printf("  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
-		}
-		return nil
-	case "all":
-		return experiments.RunAll(os.Stdout)
-	case "help", "-h", "--help":
-		usage()
-		return nil
-	}
-	for _, id := range args {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\n=== %s — %s ===\n", e.Paper, e.Description)
-		if err := e.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	return nil
+// options are the harness flags shared by "all" and explicit-ID runs.
+type options struct {
+	format string
+	outDir string
+	par    int
+	vrbose bool
 }
 
-func usage() {
-	fmt.Println("timely — regenerate the TIMELY (ISCA 2020) evaluation artifacts")
-	fmt.Println()
-	fmt.Println("usage:")
-	fmt.Println("  timely list          enumerate experiments")
-	fmt.Println("  timely all           run every experiment")
-	fmt.Println("  timely <id> [...]    run specific experiments")
+func run(args []string, stdout, stderr io.Writer) error {
+	for _, a := range args {
+		if a == "-h" || a == "-help" || a == "--help" || a == "help" {
+			usage(stdout)
+			return nil
+		}
+	}
+
+	fs := flag.NewFlagSet("timely", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opt options
+	fs.StringVar(&opt.format, "format", "text", "output format: text, csv or json")
+	fs.StringVar(&opt.outDir, "out", "", "write one file per experiment into this directory")
+	fs.IntVar(&opt.par, "par", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+	fs.BoolVar(&opt.vrbose, "v", false, "print a per-experiment timing summary to stderr")
+	fs.Usage = func() { usage(stderr); fs.PrintDefaults() }
+
+	// Command words (list, all, fig4, ...) and flags may interleave freely:
+	// flag.Parse stops at the first non-flag token, so collect that token as
+	// a command word and re-parse the remainder until everything is consumed.
+	var words []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			if errors.Is(err, flag.ErrHelp) {
+				return nil
+			}
+			return err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		words = append(words, rest[0])
+		rest = rest[1:]
+	}
+
+	switch {
+	case len(words) == 0:
+		usage(stdout)
+		return nil
+	case words[0] == "list":
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return nil
+	}
+
+	var exps []experiments.Experiment
+	if len(words) == 1 && words[0] == "all" {
+		exps = experiments.All()
+	} else {
+		for _, id := range words {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	switch opt.format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", opt.format)
+	}
+
+	results := experiments.Run(exps, opt.par)
+	if opt.vrbose {
+		timingSummary(stderr, results)
+	}
+	if opt.outDir != "" {
+		return writeDir(opt.outDir, opt.format, results)
+	}
+	switch opt.format {
+	case "csv":
+		return experiments.WriteCSV(stdout, results)
+	case "json":
+		return experiments.WriteJSON(stdout, results)
+	default:
+		return experiments.WriteText(stdout, results)
+	}
+}
+
+// timingSummary prints one line per experiment, slowest last, plus a total.
+func timingSummary(w io.Writer, results []Result) {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Elapsed < sorted[j].Elapsed })
+	var total float64
+	for _, r := range sorted {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-10s %10.1fms  %s\n", r.Experiment.ID,
+			float64(r.Elapsed.Microseconds())/1000, status)
+		total += float64(r.Elapsed.Microseconds()) / 1000
+	}
+	fmt.Fprintf(w, "%-10s %10.1fms  (sum of experiment times)\n", "total", total)
+}
+
+// Result aliases the experiments result type for local helpers.
+type Result = experiments.Result
+
+// writeDir writes one artifact file per experiment (<id>.txt/.csv/.json)
+// into dir, creating it if needed. Failing experiments produce no file; the
+// errors are joined and returned after all successes are written.
+func writeDir(dir, format string, results []Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ext := map[string]string{"text": "txt", "csv": "csv", "json": "json"}[format]
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Experiment.ID, r.Err))
+			continue
+		}
+		path := filepath.Join(dir, r.Experiment.ID+"."+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		werr := writeOne(f, format, r)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, werr))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func writeOne(w io.Writer, format string, r Result) error {
+	switch format {
+	case "csv":
+		return experiments.WriteCSV(w, []Result{r})
+	case "json":
+		return r.Document().RenderJSON(w)
+	default:
+		return experiments.WriteText(w, []Result{r})
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "timely — regenerate the TIMELY (ISCA 2020) evaluation artifacts")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "usage:")
+	fmt.Fprintln(w, "  timely list                enumerate experiments")
+	fmt.Fprintln(w, "  timely all [flags]         run every experiment")
+	fmt.Fprintln(w, "  timely <id> [...] [flags]  run specific experiments")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "flags:")
+	fmt.Fprintln(w, "  -format text|csv|json  output format (default text)")
+	fmt.Fprintln(w, "  -out <dir>             write one file per experiment into dir")
+	fmt.Fprintln(w, "  -par N                 concurrent experiments (default GOMAXPROCS)")
+	fmt.Fprintln(w, "  -v                     per-experiment timing summary on stderr")
 }

@@ -3,11 +3,17 @@
 // Domain" (Li et al., ISCA 2020): a functional simulator of the time-domain
 // ReRAM processing-in-memory datapath, analytic architecture models of
 // TIMELY and its PRIME/ISAAC baselines, the 15-network benchmark zoo, and a
-// harness regenerating every table and figure of the paper's evaluation.
+// concurrent harness regenerating every table and figure of the paper's
+// evaluation with deterministic text, CSV and JSON output.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The bench harness lives in bench_test.go; run it with
+// Run the harness with
+//
+//	go run ./cmd/timely all
+//
+// (see cmd/timely for the -format/-out/-par flags). See README.md for the
+// tour, DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The bench harness lives in
+// bench_test.go; run it with
 //
 //	go test -bench=. -benchmem
 package repro

@@ -25,6 +25,7 @@ const (
 	OpSetScale
 )
 
+// String returns the opcode's mnemonic.
 func (o OpCode) String() string {
 	switch o {
 	case OpWriteWeights:

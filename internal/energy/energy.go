@@ -59,6 +59,7 @@ var componentNames = [numComponents]string{
 	"eDRAM.read", "eDRAM.write", "IR.read",
 }
 
+// String returns the component's name.
 func (c Component) String() string {
 	if c < 0 || c >= numComponents {
 		return fmt.Sprintf("component(%d)", int(c))
@@ -96,6 +97,7 @@ const (
 
 var classNames = [numClasses]string{"input", "psum", "output", "compute", "digital", "comm"}
 
+// String returns the data-class name.
 func (c Class) String() string {
 	if c < 0 || c >= numClasses {
 		return fmt.Sprintf("class(%d)", int(c))
@@ -131,6 +133,7 @@ const (
 
 var levelNames = [numLevels]string{"ALB", "L1", "L2", "L3", "-"}
 
+// String returns the memory-level name.
 func (l Level) String() string {
 	if l < 0 || l >= numLevels {
 		return fmt.Sprintf("level(%d)", int(l))

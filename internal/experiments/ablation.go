@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/analog"
 	"repro/internal/area"
@@ -10,7 +9,6 @@ import (
 	"repro/internal/params"
 	"repro/internal/report"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Ablation studies beyond the paper's figures, covering the design choices
@@ -68,38 +66,53 @@ type DefectPoint struct {
 	Accuracy float64
 }
 
-// DefectSweep maps the synthetic CNN onto faulty crossbars at increasing
-// stuck-at rates and measures the accuracy averaged over several fault-map
-// draws (§V: "TIMELY ... leverages algorithm resilience of CNNs/DNNs to
-// counter hardware vulnerability"; no defect-aware retraining or remapping
-// is applied, so this is the unprotected floor the rescue literature
-// improves on).
+// DefectSweep maps the synthetic CNN (memoized per seed) onto faulty
+// crossbars at increasing stuck-at rates and measures the accuracy averaged
+// over several fault-map draws (§V: "TIMELY ... leverages algorithm
+// resilience of CNNs/DNNs to counter hardware vulnerability"; no
+// defect-aware retraining or remapping is applied, so this is the
+// unprotected floor the rescue literature improves on).
 func DefectSweep(seed uint64, rates []float64) ([]DefectPoint, error) {
-	rng := stats.NewRNG(seed)
-	ds := workload.SyntheticImages(rng, 600, 12, 4, 0.05)
-	train, test := ds.Split(0.8)
-	cnn := workload.NewCNN(rng, 8, 7)
-	if _, err := cnn.Train(rng, train, 32, 25, 0.05); err != nil {
+	tc, err := defectCNN(seed)
+	if err != nil {
 		return nil, err
 	}
+	cnn, test := tc.cnn, tc.test
 	const draws = 5
+	// Every (rate, draw) evaluation is independent — own fault map, own
+	// noise RNG derived from the draw index — so the grid runs on the
+	// worker budget and reduces in index order for identical output.
+	type unit struct {
+		acc    float64
+		faults int
+	}
+	units := make([]unit, len(rates)*draws)
+	err = parallelEach(len(units), func(i int) error {
+		rate, d := rates[i/draws], i%draws
+		a, err := cnn.MapAnalog(core.Options{
+			Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
+			InterfaceBits: 24,
+		}, rate)
+		if err != nil {
+			return err
+		}
+		acc, err := a.Accuracy(test)
+		if err != nil {
+			return err
+		}
+		units[i] = unit{acc: acc, faults: a.Faults()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pts []DefectPoint
-	for _, rate := range rates {
+	for ri, rate := range rates {
 		sum, faults := 0.0, 0
 		for d := 0; d < draws; d++ {
-			a, err := cnn.MapAnalog(core.Options{
-				Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
-				InterfaceBits: 24,
-			}, rate)
-			if err != nil {
-				return nil, err
-			}
-			acc, err := a.Accuracy(test)
-			if err != nil {
-				return nil, err
-			}
-			sum += acc
-			faults += a.Faults()
+			u := units[ri*draws+d]
+			sum += u.acc
+			faults += u.faults
 		}
 		pts = append(pts, DefectPoint{Rate: rate, Faults: faults / draws, Accuracy: sum / draws})
 	}
@@ -130,27 +143,21 @@ func SchemeComparison() []SchemePoint {
 	}
 }
 
-func renderAblation(w io.Writer) error {
+func runAblation() ([]*report.Table, error) {
 	g := report.New("Ablation: DTC/TDC sharing factor gamma (Table II point: 8)",
 		"gamma", "cycle (ns)", "sub-chip mm^2", "peak TOPS/sub-chip", "TOPs/(s*mm^2)")
 	for _, p := range GammaSweep([]int{1, 2, 4, 8, 16, 32}) {
 		g.AddF(p.Gamma, p.CycleNS, fmt.Sprintf("%.2f", p.SubChipMM2),
 			fmt.Sprintf("%.2f", p.PeakTOPS), fmt.Sprintf("%.2f", p.DensityTOPsMM2))
 	}
-	if err := g.Render(w); err != nil {
-		return err
-	}
 	pts, err := DefectSweep(5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	d := report.New("Ablation: stuck-at faults vs analog CNN accuracy",
 		"fault rate", "stuck cells", "accuracy")
 	for _, p := range pts {
 		d.AddF(report.Pct(p.Rate), p.Faults, report.Pct(p.Accuracy))
-	}
-	if err := d.Render(w); err != nil {
-		return err
 	}
 	s := report.New("Ablation: signed-weight encodings",
 		"scheme", "cols / 8-bit weight", "conversions / wave", "exact signed dot")
@@ -161,7 +168,7 @@ func renderAblation(w io.Writer) error {
 		}
 		s.AddF(p.Scheme, p.ColumnsPer8bWeight, p.Conversions, ex)
 	}
-	return s.Render(w)
+	return []*report.Table{g, d, s}, nil
 }
 
 func init() {
@@ -169,6 +176,6 @@ func init() {
 		ID:          "ablation",
 		Paper:       "§V design choices",
 		Description: "gamma sharing, defect resilience and signed-scheme ablations",
-		Render:      renderAblation,
+		Run:         runAblation,
 	})
 }

@@ -2,14 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/analog"
 	"repro/internal/core"
 	"repro/internal/params"
 	"repro/internal/report"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // AccuracyResult is the §VI-B accuracy study on the synthetic workload.
@@ -35,19 +33,15 @@ type NoiseSweepPoint struct {
 	WithinMargin bool
 }
 
-// RunAccuracy trains the synthetic classifier, quantises it to TIMELY's
-// 8-bit datapath and measures the analog accuracy at the design point.
+// RunAccuracy trains the synthetic classifier (memoized per seed, shared
+// with RunNoiseSweep), quantises it to TIMELY's 8-bit datapath and measures
+// the analog accuracy at the design point.
 func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
-	rng := stats.NewRNG(seed)
-	ds := workload.SyntheticClusters(rng, 2400, 16, 4, 0.30)
-	train, test := ds.Split(0.8)
-	m := workload.NewMLP(rng, 16, 48, 4)
-	// Noise-aware training (§VI-B: Gaussian noise added during training).
-	m.TrainWithNoise(train, rng, 30, 0.05, 0.02)
-	q, err := workload.Quantize(m, train, 8)
+	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
 	}
+	m, q, test := tm.m, tm.q, tm.test
 	res := &AccuracyResult{
 		FloatAcc:       m.Accuracy(test),
 		IntAcc:         q.AccuracyInt(test),
@@ -55,20 +49,30 @@ func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
 		MarginPS:       params.TDelMargin,
 		Trials:         trials,
 	}
-	sum := 0.0
-	for trial := 0; trial < trials; trial++ {
+	// Monte-Carlo trials are independent (per-trial noise RNG); run them on
+	// the worker budget and reduce in trial order.
+	accs := make([]float64, trials)
+	err = parallelEach(trials, func(trial int) error {
 		a, err := q.MapAnalog(core.Options{
 			Noise:         analog.DefaultNoise(seed + uint64(trial)*7919),
 			InterfaceBits: 24,
 			InputHops:     params.MaxCascadedXSubBufs, // worst-case cascade (§V)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acc, err := a.Accuracy(test)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		accs[trial] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, acc := range accs {
 		sum += acc
 	}
 	res.AnalogAcc = sum / float64(trials)
@@ -78,18 +82,18 @@ func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
 
 // RunNoiseSweep sweeps the X-subBuf error ε and reports analog accuracy —
 // the ablation behind the paper's choice of ε, cascade limit and margin.
+// The classifier is memoized per seed, shared with RunAccuracy.
 func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
-	rng := stats.NewRNG(seed)
-	ds := workload.SyntheticClusters(rng, 2400, 16, 4, 0.30)
-	train, test := ds.Split(0.8)
-	m := workload.NewMLP(rng, 16, 48, 4)
-	m.TrainWithNoise(train, rng, 30, 0.05, 0.02)
-	q, err := workload.Quantize(m, train, 8)
+	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
 	}
-	var pts []NoiseSweepPoint
-	for _, eps := range epsilons {
+	q, test := tm.q, tm.test
+	// Each ε point owns its noise RNG, so the sweep runs on the worker
+	// budget with results slotted by index.
+	pts := make([]NoiseSweepPoint, len(epsilons))
+	err = parallelEach(len(epsilons), func(i int) error {
+		eps := epsilons[i]
 		noise := &analog.Noise{
 			XSubBufSigma:    eps,
 			PSubBufRelSigma: params.DefaultPSubBufRelSigma,
@@ -99,25 +103,29 @@ func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
 		a, err := q.MapAnalog(core.Options{Noise: noise, InterfaceBits: 24,
 			InputHops: params.MaxCascadedXSubBufs})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acc, err := a.Accuracy(test)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pts = append(pts, NoiseSweepPoint{
+		pts[i] = NoiseSweepPoint{
 			EpsilonPS:    eps,
 			AnalogAcc:    acc,
 			WithinMargin: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, eps) <= params.TDelMargin,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
 
-func renderAccuracy(w io.Writer) error {
+func runAccuracy() ([]*report.Table, error) {
 	res, err := RunAccuracy(2020, 5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t := report.New("Accuracy under circuit noise (synthetic workload, §VI-B methodology)",
 		"metric", "value")
@@ -126,12 +134,9 @@ func renderAccuracy(w io.Writer) error {
 	t.Add(fmt.Sprintf("analog accuracy (design point, %d trials)", res.Trials), report.Pct(res.AnalogAcc))
 	t.Add("accuracy loss", fmt.Sprintf("%.2f pp (paper: <=0.1%% on CNNs)", res.Loss*100))
 	t.Add("cascade error sqrt(12)*eps", fmt.Sprintf("%.1f ps (margin %.0f ps)", res.CascadeErrorPS, res.MarginPS))
-	if err := t.Render(w); err != nil {
-		return err
-	}
 	pts, err := RunNoiseSweep(2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s := report.New("Noise ablation: X-subBuf error vs analog accuracy",
 		"epsilon (ps)", "accuracy", "within margin")
@@ -142,7 +147,7 @@ func renderAccuracy(w io.Writer) error {
 		}
 		s.AddF(p.EpsilonPS, report.Pct(p.AnalogAcc), in)
 	}
-	return s.Render(w)
+	return []*report.Table{t, s}, nil
 }
 
 func init() {
@@ -150,6 +155,6 @@ func init() {
 		ID:          "accuracy",
 		Paper:       "§VI-B Accuracy",
 		Description: "inference accuracy under injected circuit noise",
-		Render:      renderAccuracy,
+		Run:         runAccuracy,
 	})
 }

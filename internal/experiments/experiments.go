@@ -1,14 +1,20 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§VI). Each artifact has a typed Run function returning the
-// rows/series the paper reports and a Render function producing the text
-// form the cmd/timely harness prints. The per-experiment index lives in
-// DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+// rows/series the paper reports as report.Tables; rendering (text, CSV or
+// JSON) is separate, so the cmd/timely harness can execute experiments
+// concurrently and still emit deterministic, ID-ordered output. The
+// per-experiment index lives in DESIGN.md; paper-vs-measured numbers are
+// recorded in EXPERIMENTS.md.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/report"
 )
 
 // Experiment is one regenerable paper artifact.
@@ -19,8 +25,22 @@ type Experiment struct {
 	Paper string
 	// Description summarises what it shows.
 	Description string
-	// Render runs the experiment and writes its tables.
-	Render func(w io.Writer) error
+	// Run computes the experiment and returns its tables, one per panel.
+	Run func() ([]*report.Table, error)
+}
+
+// Render runs the experiment and writes its tables as aligned text.
+func (e Experiment) Render(w io.Writer) error {
+	tables, err := e.Run()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var registry []Experiment
@@ -44,15 +64,134 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// RunAll renders every experiment in order.
-func RunAll(w io.Writer) error {
-	for _, e := range All() {
+// Result is the captured outcome of one experiment execution.
+type Result struct {
+	// Experiment identifies what ran.
+	Experiment Experiment
+	// Tables holds the computed artifact; nil when Err is set.
+	Tables []*report.Table
+	// Err is the experiment's failure, if any. One failing experiment does
+	// not stop the others.
+	Err error
+	// Elapsed is the experiment's own wall-clock compute time.
+	Elapsed time.Duration
+}
+
+// Document converts the result to its machine-readable form.
+func (r Result) Document() *report.Document {
+	return &report.Document{
+		ID:          r.Experiment.ID,
+		Title:       r.Experiment.Paper,
+		Description: r.Experiment.Description,
+		Tables:      r.Tables,
+	}
+}
+
+// Run executes the given experiments on par worker goroutines and returns
+// one Result per experiment, in input order regardless of completion order.
+// par < 1 means one worker. Shared heavy inputs (benchmark networks,
+// baseline evaluations, trained classifiers) are computed once and reused
+// across experiments via the package caches.
+func Run(exps []Experiment, par int) []Result {
+	if par < 1 {
+		par = 1
+	}
+	// Heavy inner loops (Monte-Carlo trials, sweep draws) draw from one
+	// shared token pool sized by the same parallelism budget, so par=1 is
+	// a genuinely serial execution and overlapping heavy experiments
+	// cannot multiply the worker count.
+	setInnerPar(par)
+	if par > len(exps) {
+		par = len(exps)
+	}
+	results := make([]Result, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				start := time.Now()
+				tables, err := e.Run()
+				results[i] = Result{
+					Experiment: e,
+					Tables:     tables,
+					Err:        err,
+					Elapsed:    time.Since(start),
+				}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// WriteText writes results in order in the harness text format: a section
+// header per experiment followed by its aligned tables. The first captured
+// experiment error is returned (after writing the preceding sections).
+func WriteText(w io.Writer, results []Result) error {
+	for _, r := range results {
+		e := r.Experiment
 		if _, err := fmt.Fprintf(w, "\n=== %s — %s ===\n", e.Paper, e.Description); err != nil {
 			return err
 		}
-		if err := e.Render(w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", e.ID, r.Err)
+		}
+		for _, t := range r.Tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// WriteCSV writes results in order as CSV, each table preceded by a
+// "# title" comment line and followed by a blank line.
+func WriteCSV(w io.Writer, results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
+		}
+		for _, t := range r.Tables {
+			if t.Title != "" {
+				if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+					return err
+				}
+			}
+			if err := t.RenderCSV(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes results in order as one JSON array of artifact documents.
+func WriteJSON(w io.Writer, results []Result) error {
+	docs := make([]*report.Document, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
+		}
+		docs = append(docs, r.Document())
+	}
+	return report.WriteDocumentsJSON(w, docs)
+}
+
+// RunAll renders every registered experiment in ID order on one worker —
+// the classic serial harness entry point. cmd/timely uses Run directly to
+// control parallelism.
+func RunAll(w io.Writer) error {
+	return WriteText(w, Run(All(), 1))
 }

@@ -2,11 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/energy"
+	"repro/internal/report"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -359,6 +363,102 @@ func TestLayerProfile(t *testing.T) {
 	}
 	if _, err := LayerProfile("nonexistent"); err == nil {
 		t.Errorf("unknown network accepted")
+	}
+}
+
+func TestRunPreservesOrderAndCapturesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	mk := func(id string, err error) Experiment {
+		return Experiment{
+			ID: id, Paper: id, Description: id,
+			Run: func() ([]*report.Table, error) {
+				if err != nil {
+					return nil, err
+				}
+				return []*report.Table{report.New(id, "h").Add("v")}, nil
+			},
+		}
+	}
+	exps := []Experiment{mk("a", nil), mk("b", boom), mk("c", nil)}
+	results := Run(exps, 3)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if results[i].Experiment.ID != want {
+			t.Errorf("results[%d] = %s, want %s", i, results[i].Experiment.ID, want)
+		}
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Errorf("error not captured: %v", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("failing experiment stopped its siblings")
+	}
+	if results[0].Tables == nil || results[2].Tables == nil {
+		t.Errorf("successful results missing tables")
+	}
+
+	var buf bytes.Buffer
+	err := WriteText(&buf, results)
+	if err == nil || !strings.Contains(err.Error(), "b:") {
+		t.Errorf("WriteText error = %v, want wrapped b failure", err)
+	}
+	if !strings.Contains(buf.String(), "=== a — a ===") {
+		t.Errorf("sections before the failure were not written: %q", buf.String())
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m memo[int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", calls.Load())
+	}
+	if _, err := m.Do("fail", func() (int, error) { return 0, errors.New("x") }); err == nil {
+		t.Errorf("error not propagated")
+	}
+	// Errors are memoized too (deterministic inputs): the failure sticks.
+	if _, err := m.Do("fail", func() (int, error) { return 1, nil }); err == nil {
+		t.Errorf("memoized error was recomputed")
+	}
+	m.reset()
+	if v, _ := m.Do("fail", func() (int, error) { return 7, nil }); v != 7 {
+		t.Errorf("reset did not clear entries")
+	}
+}
+
+func TestResultDocument(t *testing.T) {
+	e, err := ByID("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Run([]Experiment{e}, 1)
+	doc := results[0].Document()
+	if doc.ID != "table5" || doc.Title != "Table V" || len(doc.Tables) != 1 {
+		t.Errorf("document = %+v", doc)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"id\": \"table5\"") {
+		t.Errorf("WriteJSON missing id: %q", buf.String())
 	}
 }
 

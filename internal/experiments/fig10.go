@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/area"
 	"repro/internal/params"
 	"repro/internal/report"
@@ -20,20 +18,17 @@ func Fig10a() []Share {
 // Fig10b returns TIMELY's sub-chip area breakdown.
 func Fig10b() []area.Share { return area.Breakdown() }
 
-func renderFig10(w io.Writer) error {
+func runFig10() ([]*report.Table, error) {
 	a := report.New("Fig. 10(a): ReRAM crossbar area / chip area", "accelerator", "share")
 	for _, s := range Fig10a() {
 		a.Add(s.Name, report.Pct(s.Fraction))
-	}
-	if err := a.Render(w); err != nil {
-		return err
 	}
 	b := report.New("Fig. 10(b): TIMELY area breakdown (sub-chip total "+
 		area.FormatMM2(area.SubChipArea())+")", "component", "share")
 	for _, s := range Fig10b() {
 		b.Add(s.Name, report.Pct(s.Fraction))
 	}
-	return b.Render(w)
+	return []*report.Table{a, b}, nil
 }
 
 func init() {
@@ -41,6 +36,6 @@ func init() {
 		ID:          "fig10",
 		Paper:       "Fig. 10(a,b)",
 		Description: "ReRAM area share and TIMELY area breakdown",
-		Render:      renderFig10,
+		Run:         runFig10,
 	})
 }

@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/accel"
-	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/report"
 )
@@ -21,8 +18,11 @@ type Fig11Result struct {
 // subarrays (Fig. 11(a)) and measures the intra-bank data-movement energy
 // reduction on VGG-D (Fig. 11(b)).
 func RunFig11() (Fig11Result, error) {
-	vgg := model.VGG("D")
-	base, err := accel.NewPrime(1).Evaluate(vgg)
+	vgg, err := network("VGG-D")
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	base, err := evalPrime(1, "VGG-D")
 	if err != nil {
 		return Fig11Result{}, err
 	}
@@ -38,16 +38,16 @@ func RunFig11() (Fig11Result, error) {
 	return r, nil
 }
 
-func renderFig11(w io.Writer) error {
+func runFig11() ([]*report.Table, error) {
 	r, err := RunFig11()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t := report.New("Fig. 11: ALB+O2IR applied to PRIME's FF subarrays (VGG-D)",
 		"design", "intra-bank movement energy", "reduction")
 	t.Add("PRIME", report.MJ(r.BaseFJ), "-")
 	t.Add("PRIME + ALB + O2IR", report.MJ(r.RetrofitFJ), report.Pct(r.Reduction))
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -55,6 +55,6 @@ func init() {
 		ID:          "fig11",
 		Paper:       "Fig. 11",
 		Description: "generalizing ALB+O2IR into PRIME",
-		Render:      renderFig11,
+		Run:         runFig11,
 	})
 }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/accel"
 	"repro/internal/report"
 )
@@ -39,7 +37,7 @@ func Fig1c() []Fig1cPoint {
 	return pts
 }
 
-func renderFig1c(w io.Writer) error {
+func runFig1c() ([]*report.Table, error) {
 	t := report.New("Fig. 1(c): efficiency vs computational density (peak)",
 		"accelerator", "MAC bits", "TOPs/W", "TOPs/(s*mm^2)", "PIM", "source")
 	for _, p := range Fig1c() {
@@ -53,7 +51,7 @@ func renderFig1c(w io.Writer) error {
 		}
 		t.AddF(p.Name, p.OpBits, p.EfficiencyTOPsW, p.DensityTOPsMM2, pim, src)
 	}
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -61,6 +59,6 @@ func init() {
 		ID:          "fig1c",
 		Paper:       "Fig. 1(c)",
 		Description: "energy efficiency vs computational density across accelerators",
-		Render:      renderFig1c,
+		Run:         runFig1c,
 	})
 }

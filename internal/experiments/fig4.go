@@ -1,11 +1,8 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/accel"
 	"repro/internal/energy"
-	"repro/internal/model"
 	"repro/internal/report"
 )
 
@@ -36,7 +33,7 @@ type Share struct {
 func Fig4a() []Fig4Access {
 	var out []Fig4Access
 	for _, name := range []string{"VGG-D", "ResNet-50"} {
-		n, err := model.ByName(name)
+		n, err := network(name)
 		if err != nil {
 			panic(err)
 		}
@@ -57,7 +54,7 @@ func Fig4a() []Fig4Access {
 
 // Fig4b returns PRIME's VGG-D energy breakdown (Fig. 4(b)).
 func Fig4b() (Fig4Breakdown, error) {
-	r, err := accel.NewPrime(1).Evaluate(model.VGG("D"))
+	r, err := evalPrime(1, "VGG-D")
 	if err != nil {
 		return Fig4Breakdown{}, err
 	}
@@ -77,7 +74,7 @@ func Fig4b() (Fig4Breakdown, error) {
 
 // Fig4c returns ISAAC's VGG-D energy breakdown (Fig. 4(c)).
 func Fig4c() (Fig4Breakdown, error) {
-	r, err := accel.NewIsaac(1).Evaluate(model.VGG("D"))
+	r, err := evalIsaac(1, "VGG-D")
 	if err != nil {
 		return Fig4Breakdown{}, err
 	}
@@ -97,30 +94,26 @@ func Fig4c() (Fig4Breakdown, error) {
 	}, nil
 }
 
-func renderFig4(w io.Writer) error {
+func runFig4() ([]*report.Table, error) {
 	ta := report.New("Fig. 4(a): # of CONV-layer accesses under PRIME-style execution",
 		"network", "inputs", "psum accesses")
 	for _, a := range Fig4a() {
 		ta.Add(a.Network, report.Millions(a.Inputs), report.Millions(a.Psums))
 	}
-	if err := ta.Render(w); err != nil {
-		return err
-	}
+	tables := []*report.Table{ta}
 	for _, f := range []func() (Fig4Breakdown, error){Fig4b, Fig4c} {
 		b, err := f()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		t := report.New("Fig. 4: "+b.Accelerator+" energy breakdown on VGG-D (total "+
 			report.MJ(b.TotalFJ)+")", "category", "share")
 		for _, s := range b.Shares {
 			t.Add(s.Name, report.Pct(s.Fraction))
 		}
-		if err := t.Render(w); err != nil {
-			return err
-		}
+		tables = append(tables, t)
 	}
-	return nil
+	return tables, nil
 }
 
 func init() {
@@ -128,6 +121,6 @@ func init() {
 		ID:          "fig4",
 		Paper:       "Fig. 4(a-c)",
 		Description: "access counts and baseline energy breakdowns",
-		Render:      renderFig4,
+		Run:         runFig4,
 	})
 }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/params"
 	"repro/internal/report"
 )
@@ -67,20 +65,17 @@ func Fig5d() []Share {
 	}
 }
 
-func renderFig5(w io.Writer) error {
+func runFig5() ([]*report.Table, error) {
 	t := report.New("Fig. 5(c): per-datum energy, existing R2PIM vs TIMELY",
 		"quantity", "existing (fJ)", "TIMELY (fJ)", "reduction")
 	for _, r := range Fig5c() {
 		t.AddF(r.Quantity, r.ExistingFJ, r.TimelyFJ, report.X(r.Reduction))
 	}
-	if err := t.Render(w); err != nil {
-		return err
-	}
 	d := report.New("Fig. 5(d): normalized unit energies", "unit", "normalized")
 	for _, s := range Fig5d() {
 		d.AddF(s.Name, s.Fraction)
 	}
-	return d.Render(w)
+	return []*report.Table{t, d}, nil
 }
 
 func init() {
@@ -88,6 +83,6 @@ func init() {
 		ID:          "fig5",
 		Paper:       "Fig. 5(c,d)",
 		Description: "per-input/per-psum energy and normalized unit energies",
-		Render:      renderFig5,
+		Run:         runFig5,
 	})
 }

@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/accel"
-	"repro/internal/model"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -23,20 +21,20 @@ type Fig8aRow struct {
 func Fig8a() ([]Fig8aRow, Fig8aRow, error) {
 	var rows []Fig8aRow
 	var primes, isaacs []float64
-	for _, n := range model.Benchmarks() {
-		t8, err := accel.NewTimely(8, 1).Evaluate(n)
+	for _, n := range benchmarks() {
+		t8, err := evalTimely(8, 1, n.Name)
 		if err != nil {
 			return nil, Fig8aRow{}, fmt.Errorf("timely-8 %s: %w", n.Name, err)
 		}
-		pr, err := accel.NewPrime(1).Evaluate(n)
+		pr, err := evalPrime(1, n.Name)
 		if err != nil {
 			return nil, Fig8aRow{}, fmt.Errorf("prime %s: %w", n.Name, err)
 		}
-		t16, err := accel.NewTimely(16, 1).Evaluate(n)
+		t16, err := evalTimely(16, 1, n.Name)
 		if err != nil {
 			return nil, Fig8aRow{}, fmt.Errorf("timely-16 %s: %w", n.Name, err)
 		}
-		is, err := accel.NewIsaac(1).Evaluate(n)
+		is, err := evalIsaac(1, n.Name)
 		if err != nil {
 			return nil, Fig8aRow{}, fmt.Errorf("isaac %s: %w", n.Name, err)
 		}
@@ -80,20 +78,20 @@ func fig8bNetworks() []string {
 func Fig8b() ([]Fig8bRow, error) {
 	var rows []Fig8bRow
 	for _, name := range fig8bNetworks() {
-		n, err := model.ByName(name)
+		n, err := network(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, chips := range []int{16, 32, 64} {
-			t8, err := accel.NewTimely(8, chips).Evaluate(n)
+			t8, err := evalTimely(8, chips, name)
 			if err != nil {
 				return nil, err
 			}
-			pr, err := accel.NewPrime(chips).Evaluate(n)
+			pr, err := evalPrime(chips, name)
 			if err != nil {
 				return nil, err
 			}
-			is, err := accel.NewIsaac(chips).Evaluate(n)
+			is, err := evalIsaac(chips, name)
 			if err != nil {
 				return nil, err
 			}
@@ -116,10 +114,10 @@ func Fig8b() ([]Fig8bRow, error) {
 	return rows, nil
 }
 
-func renderFig8a(w io.Writer) error {
+func runFig8a() ([]*report.Table, error) {
 	rows, geo, err := Fig8a()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t := report.New("Fig. 8(a): normalized energy efficiency of TIMELY",
 		"network", "over PRIME (8b)", "over ISAAC (16b)")
@@ -127,13 +125,13 @@ func renderFig8a(w io.Writer) error {
 		t.Add(r.Network, report.X(r.OverPrime), report.X(r.OverIsaac))
 	}
 	t.Add(geo.Network, report.X(geo.OverPrime), report.X(geo.OverIsaac))
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
-func renderFig8b(w io.Writer) error {
+func runFig8b() ([]*report.Table, error) {
 	rows, err := Fig8b()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t := report.New("Fig. 8(b): normalized throughput of TIMELY",
 		"network", "chips", "TIMELY-8 img/s", "PRIME img/s", "over PRIME", "over ISAAC")
@@ -141,7 +139,7 @@ func renderFig8b(w io.Writer) error {
 		t.AddF(r.Network, r.Chips, r.TimelyIPS, r.PrimeIPS,
 			report.X(r.OverPrime), fmt.Sprintf("%.2fx", r.OverIsaac))
 	}
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -149,12 +147,12 @@ func init() {
 		ID:          "fig8a",
 		Paper:       "Fig. 8(a)",
 		Description: "normalized energy efficiency on 15 benchmarks",
-		Render:      renderFig8a,
+		Run:         runFig8a,
 	})
 	register(Experiment{
 		ID:          "fig8b",
 		Paper:       "Fig. 8(b)",
 		Description: "normalized throughput on 8 CNNs x {16,32,64} chips",
-		Render:      renderFig8b,
+		Run:         runFig8b,
 	})
 }

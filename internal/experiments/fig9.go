@@ -1,11 +1,7 @@
 package experiments
 
 import (
-	"io"
-
-	"repro/internal/accel"
 	"repro/internal/energy"
-	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/report"
 )
@@ -29,12 +25,11 @@ type Fig9 struct {
 
 // RunFig9 evaluates both accelerators on VGG-D and derives every panel.
 func RunFig9() (*Fig9, error) {
-	vgg := model.VGG("D")
-	pr, err := accel.NewPrime(1).Evaluate(vgg)
+	pr, err := evalPrime(1, "VGG-D")
 	if err != nil {
 		return nil, err
 	}
-	t8, err := accel.NewTimely(8, 1).Evaluate(vgg)
+	t8, err := evalTimely(8, 1, "VGG-D")
 	if err != nil {
 		return nil, err
 	}
@@ -68,26 +63,20 @@ func RunFig9() (*Fig9, error) {
 	return f, nil
 }
 
-func renderFig9(w io.Writer) error {
+func runFig9() ([]*report.Table, error) {
 	f, err := RunFig9()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a := report.New("Fig. 9(a): breakdown of TIMELY's energy savings over PRIME (VGG-D)",
 		"feature", "share of savings")
 	a.Add("ALB + O2IR", report.Pct(f.SavingALBO2IR))
 	a.Add("TDI", report.Pct(f.SavingTDI))
-	if err := a.Render(w); err != nil {
-		return err
-	}
 
 	b := report.New("Fig. 9(b): interfacing energy", "design", "energy", "reduction")
 	b.Add("PRIME (DAC+ADC)", report.MJ(f.PrimeInterfaceFJ), "-")
 	b.Add("TIMELY (DTC+TDC)", report.MJ(f.TimelyInterfaceFJ),
 		report.Pct(1-f.TimelyInterfaceFJ/f.PrimeInterfaceFJ))
-	if err := b.Render(w); err != nil {
-		return err
-	}
 
 	c := report.New("Fig. 9(c): memory-access energy by level",
 		"level", "PRIME", "TIMELY")
@@ -99,9 +88,6 @@ func renderFig9(w io.Writer) error {
 	}
 	c.Add("total", report.MJ(pm), report.MJ(tm))
 	c.Add("reduction", "-", report.Pct(1-tm/pm))
-	if err := c.Render(w); err != nil {
-		return err
-	}
 
 	d := report.New("Fig. 9(d): data-movement energy by data type",
 		"data type", "PRIME", "TIMELY", "reduction")
@@ -109,15 +95,12 @@ func renderFig9(w io.Writer) error {
 		p, t := f.PrimeByClass[cl], f.TimelyByClass[cl]
 		d.Add(cl.String(), report.MJ(p), report.MJ(t), report.Pct(1-t/p))
 	}
-	if err := d.Render(w); err != nil {
-		return err
-	}
 
 	e := report.New("Fig. 9(e): contributing factors", "energy reduction of", "contributors")
 	e.Add("psum accesses", "P-subBufs")
 	e.Add("input reads", "X-subBufs & O2IR (fetch once, shift locally)")
 	e.Add("output writes", "no L2 level (146.7x/6.9x costlier reads/writes removed)")
-	return e.Render(w)
+	return []*report.Table{a, b, c, d, e}, nil
 }
 
 func init() {
@@ -125,6 +108,6 @@ func init() {
 		ID:          "fig9",
 		Paper:       "Fig. 9(a-e)",
 		Description: "effectiveness of ALB, TDI and O2IR on VGG-D vs PRIME",
-		Render:      renderFig9,
+		Run:         runFig9,
 	})
 }

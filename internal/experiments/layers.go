@@ -1,11 +1,8 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/accel"
 	"repro/internal/energy"
-	"repro/internal/model"
 	"repro/internal/report"
 )
 
@@ -25,7 +22,7 @@ type LayerRow struct {
 
 // LayerProfile evaluates one network layer by layer on 8-bit TIMELY.
 func LayerProfile(name string) ([]LayerRow, error) {
-	n, err := model.ByName(name)
+	n, err := network(name)
 	if err != nil {
 		return nil, err
 	}
@@ -47,10 +44,10 @@ func LayerProfile(name string) ([]LayerRow, error) {
 	return rows, nil
 }
 
-func renderLayers(w io.Writer) error {
+func runLayers() ([]*report.Table, error) {
 	rows, err := LayerProfile("VGG-D")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t := report.New("Per-layer TIMELY profile, VGG-D (8-bit, one instance)",
 		"layer", "dot rows", "O2IR copies", "sub-chips", "cycles/img", "energy", "L1 input reads")
@@ -61,7 +58,7 @@ func renderLayers(w io.Writer) error {
 		totE += r.EnergyFJ
 	}
 	t.Add("total", "", "", "", "", report.MJ(totE), "")
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -69,6 +66,6 @@ func init() {
 		ID:          "layers",
 		Paper:       "per-layer detail",
 		Description: "VGG-D layer-by-layer placement, cycles and energy on TIMELY",
-		Render:      renderLayers,
+		Run:         runLayers,
 	})
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Inner parallel loops (defect-sweep draws, Monte-Carlo trials, noise-sweep
+// points) draw their concurrency from one shared pool of compute tokens, so
+// heavy experiments running at the same time cannot multiply the budget:
+// however many experiments overlap, at most the pool size of inner units
+// execute at once. Run sizes the pool from its par argument so a -par 1
+// execution is genuinely serial end to end; direct Render calls default to
+// GOMAXPROCS. The pool is additionally capped at GOMAXPROCS — inner loops
+// are pure throughput, and workers beyond the core count only pile up
+// concurrent mapped-crossbar allocations without finishing any sooner.
+var innerPool atomic.Pointer[tokenPool]
+
+type tokenPool struct {
+	size   int
+	tokens chan struct{}
+}
+
+func init() { setInnerPar(runtime.GOMAXPROCS(0)) }
+
+func setInnerPar(n int) {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := &tokenPool{size: n}
+	if n > 1 {
+		p.tokens = make(chan struct{}, n)
+	}
+	innerPool.Store(p)
+}
+
+// parallelEach runs f(0..n-1) on workers bounded by the shared inner-work
+// pool and returns the lowest-index error. Every unit owns its index's slot
+// of whatever slice the caller writes into, and units derive their RNG
+// streams from their index, so the results are identical at any worker
+// count.
+func parallelEach(n int, f func(i int) error) error {
+	pool := innerPool.Load()
+	par := pool.size
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pool.tokens <- struct{}{}
+				errs[i] = f(i)
+				<-pool.tokens
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

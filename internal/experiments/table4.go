@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"io"
-
 	"repro/internal/accel"
 	"repro/internal/report"
 )
@@ -53,7 +51,7 @@ func Table4() []Table4Row {
 	return rows
 }
 
-func renderTable4(w io.Writer) error {
+func runTable4() ([]*report.Table, error) {
 	t := report.New("Table IV: peak performance comparison",
 		"accelerator", "MAC bits", "TOPs/W", "TIMELY eff. gain", "TOPs/(s*mm^2)", "TIMELY dens. gain")
 	for _, r := range Table4() {
@@ -64,7 +62,7 @@ func renderTable4(w io.Writer) error {
 		}
 		t.AddF(r.Name, r.OpBits, r.EfficiencyTOPsW, eff, r.DensityTOPsMM2, den)
 	}
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -72,6 +70,6 @@ func init() {
 		ID:          "table4",
 		Paper:       "Table IV",
 		Description: "peak energy efficiency and computational density",
-		Render:      renderTable4,
+		Run:         runTable4,
 	})
 }

@@ -1,11 +1,6 @@
 package experiments
 
-import (
-	"io"
-
-	"repro/internal/model"
-	"repro/internal/report"
-)
+import "repro/internal/report"
 
 // Table5Row is one CONV layer's L1 input-read comparison (Table V).
 type Table5Row struct {
@@ -18,7 +13,11 @@ type Table5Row struct {
 // first six CONV layers of VGG-D — PRIME re-reads each input Z·G/S² times,
 // O2IR reads it once (88.9 % saved for 3×3/s1 layers).
 func Table5() []Table5Row {
-	convs := model.VGG("D").ConvLayers()
+	vgg, err := network("VGG-D")
+	if err != nil {
+		panic(err)
+	}
+	convs := vgg.ConvLayers()
 	var rows []Table5Row
 	for i := 0; i < 6; i++ {
 		l := convs[i]
@@ -34,13 +33,13 @@ func Table5() []Table5Row {
 	return rows
 }
 
-func renderTable5(w io.Writer) error {
+func runTable5() ([]*report.Table, error) {
 	t := report.New("Table V: L1 input reads, VGG-D CONV1-6",
 		"layer", "PRIME", "TIMELY", "saved by")
 	for _, r := range Table5() {
 		t.Add(r.Layer, report.Millions(r.Prime), report.Millions(r.Timely), report.Pct(r.Saving))
 	}
-	return t.Render(w)
+	return []*report.Table{t}, nil
 }
 
 func init() {
@@ -48,6 +47,6 @@ func init() {
 		ID:          "table5",
 		Paper:       "Table V",
 		Description: "L1 input reads of VGG-D CONV1-6: O2IR vs PRIME",
-		Render:      renderTable5,
+		Run:         runTable5,
 	})
 }

@@ -28,6 +28,7 @@ const (
 	KindAvgPool
 )
 
+// String returns the layer kind's name.
 func (k Kind) String() string {
 	switch k {
 	case KindConv:
@@ -117,6 +118,7 @@ func (l Layer) DotRows() int {
 	return 0
 }
 
+// String summarises the layer's shape for diagnostics.
 func (l Layer) String() string {
 	switch l.Kind {
 	case KindConv:

@@ -1,8 +1,10 @@
-// Package report renders the experiment results as aligned text tables and
-// simple CSV, the output format of the cmd/timely harness and the examples.
+// Package report renders the experiment results as aligned text tables,
+// CSV, and JSON — the output formats of the cmd/timely harness and the
+// examples.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -10,9 +12,9 @@ import (
 
 // Table is a titled grid of cells with a header row.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // New creates a table with the given title and column headers.
@@ -108,8 +110,9 @@ func (t *Table) Render(out io.Writer) error {
 	return nil
 }
 
-// RenderCSV writes the table as comma-separated values (no escaping beyond
-// quoting cells that contain commas).
+// RenderCSV writes the table as comma-separated values. Cells containing a
+// comma, double quote or newline are quoted, with embedded quotes doubled
+// (RFC 4180 escaping); the title is not written.
 func (t *Table) RenderCSV(out io.Writer) error {
 	write := func(cells []string) error {
 		quoted := make([]string, len(cells))
@@ -131,6 +134,42 @@ func (t *Table) RenderCSV(out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RenderJSON writes the table as an indented JSON object with "title",
+// "headers" and "rows" keys, followed by a newline.
+func (t *Table) RenderJSON(out io.Writer) error {
+	return writeJSON(out, t)
+}
+
+// Document is a titled group of tables — the machine-readable form of one
+// experiment artifact (one figure or table of the paper).
+type Document struct {
+	// ID is the artifact's CLI name (fig4, table5, ...).
+	ID string `json:"id"`
+	// Title names the paper artifact ("Fig. 4(a-c)").
+	Title string `json:"title,omitempty"`
+	// Description summarises what the artifact shows.
+	Description string `json:"description,omitempty"`
+	// Tables holds the artifact's tables in render order.
+	Tables []*Table `json:"tables"`
+}
+
+// RenderJSON writes the document as indented JSON followed by a newline.
+func (d *Document) RenderJSON(out io.Writer) error {
+	return writeJSON(out, d)
+}
+
+// WriteDocumentsJSON writes the documents as one indented JSON array
+// followed by a newline.
+func WriteDocumentsJSON(out io.Writer, docs []*Document) error {
+	return writeJSON(out, docs)
+}
+
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func pad(s string, n int) string {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,57 @@ func TestRenderCSV(t *testing.T) {
 	want := "a,b\n\"x,y\",plain\n"
 	if buf.String() != want {
 		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRenderJSONRoundTrips(t *testing.T) {
+	tb := New("quoted \"title\"", "a", "b")
+	tb.Add("x,y", "line1\nline2")
+	var buf bytes.Buffer
+	if err := tb.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("RenderJSON produced invalid JSON: %v", err)
+	}
+	if got.Title != tb.Title || len(got.Rows) != 1 || got.Rows[0][1] != "line1\nline2" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Errorf("JSON output not newline-terminated")
+	}
+}
+
+func TestDocumentRenderJSON(t *testing.T) {
+	d := &Document{
+		ID:          "fig0",
+		Title:       "Fig. 0",
+		Description: "demo",
+		Tables:      []*Table{New("t", "h").Add("v")},
+	}
+	var buf bytes.Buffer
+	if err := d.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Document
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.ID != "fig0" || len(got.Tables) != 1 || got.Tables[0].Rows[0][0] != "v" {
+		t.Errorf("round trip = %+v", got)
+	}
+
+	var arr bytes.Buffer
+	if err := WriteDocumentsJSON(&arr, []*Document{d, d}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []Document
+	if err := json.Unmarshal(arr.Bytes(), &docs); err != nil {
+		t.Fatalf("invalid JSON array: %v", err)
+	}
+	if len(docs) != 2 {
+		t.Errorf("array length = %d", len(docs))
 	}
 }
 

@@ -23,6 +23,7 @@ const (
 	FaultSA1
 )
 
+// String returns the fault kind's name.
 func (k FaultKind) String() string {
 	switch k {
 	case FaultSA0:

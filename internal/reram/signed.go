@@ -26,6 +26,7 @@ const (
 	SchemeOffset
 )
 
+// String returns the encoding scheme's name.
 func (s SignedScheme) String() string {
 	switch s {
 	case SchemeDifferential:

@@ -18,6 +18,7 @@ type Shape struct {
 // Size returns the element count.
 func (s Shape) Size() int { return s.C * s.H * s.W }
 
+// String renders the shape as CxHxW.
 func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
 
 // Int is a dense integer tensor in CHW order.

@@ -34,6 +34,7 @@ const (
 
 var stageNames = [NumStages]string{"read", "dtc", "analog", "tdc", "write"}
 
+// String returns the pipeline stage's name.
 func (s Stage) String() string {
 	if s < 0 || s >= NumStages {
 		return fmt.Sprintf("stage(%d)", int(s))
