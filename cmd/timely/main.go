@@ -13,6 +13,8 @@
 //	-out <dir>              write one file per experiment into dir
 //	-par N                  run N experiments concurrently (default GOMAXPROCS)
 //	-v                      print a per-experiment timing summary to stderr
+//	-cpuprofile <file>      write a pprof CPU profile of the run
+//	-memprofile <file>      write a pprof heap profile taken after the run
 //
 // Experiments execute on a worker pool; output is always emitted in the
 // requested order regardless of completion order, so -par does not change
@@ -27,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/experiments"
@@ -41,10 +44,12 @@ func main() {
 
 // options are the harness flags shared by "all" and explicit-ID runs.
 type options struct {
-	format string
-	outDir string
-	par    int
-	vrbose bool
+	format     string
+	outDir     string
+	par        int
+	vrbose     bool
+	cpuprofile string
+	memprofile string
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -62,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.outDir, "out", "", "write one file per experiment into this directory")
 	fs.IntVar(&opt.par, "par", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	fs.BoolVar(&opt.vrbose, "v", false, "print a per-experiment timing summary to stderr")
+	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile taken after the run to this file")
 	fs.Usage = func() { usage(stderr); fs.PrintDefaults() }
 
 	// Command words (list, all, fig4, ...) and flags may interleave freely:
@@ -114,6 +121,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text, csv or json)", opt.format)
 	}
 
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if opt.memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(opt.memprofile); err != nil {
+				fmt.Fprintln(stderr, "timely: memprofile:", err)
+			}
+		}()
+	}
+
 	results := experiments.Run(exps, opt.par)
 	if opt.vrbose {
 		timingSummary(stderr, results)
@@ -129,6 +155,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return experiments.WriteText(stdout, results)
 	}
+}
+
+// writeHeapProfile snapshots the post-run heap (after a final GC, so the
+// profile shows retained memory rather than collectable garbage).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // timingSummary prints one line per experiment, slowest last, plus a total.
@@ -206,4 +247,6 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  -out <dir>             write one file per experiment into dir")
 	fmt.Fprintln(w, "  -par N                 concurrent experiments (default GOMAXPROCS)")
 	fmt.Fprintln(w, "  -v                     per-experiment timing summary on stderr")
+	fmt.Fprintln(w, "  -cpuprofile <file>     write a pprof CPU profile of the run")
+	fmt.Fprintln(w, "  -memprofile <file>     write a pprof heap profile after the run")
 }

@@ -157,3 +157,26 @@ func TestHelpGoesToStdout(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	out := runOut(t, "fig1c", "-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "===") {
+		t.Fatalf("profiled run produced no artifact output: %q", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// The profiled run must not perturb the artifact bytes.
+	if plain := runOut(t, "fig1c"); plain != out {
+		t.Fatal("output differs between profiled and plain runs")
+	}
+}

@@ -49,6 +49,19 @@ func DefaultNoise(seed uint64) *Noise {
 	}
 }
 
+// Deterministic reports whether this configuration can inject no
+// randomness at all: every error draw the datapath would make returns
+// exactly zero (nil noise, nil RNG, or all sigmas zero). The functional
+// executor uses it to route waves through batched kernels when no RNG draw
+// ordering needs to be preserved.
+func (n *Noise) Deterministic() bool {
+	if n == nil || n.RNG == nil {
+		return true
+	}
+	return n.XSubBufSigma == 0 && n.PSubBufRelSigma == 0 &&
+		n.ComparatorSigma == 0 && n.TDCSigma == 0 && n.DTCSigma == 0
+}
+
 func (n *Noise) gauss(sigma float64) float64 {
 	if n == nil || sigma == 0 || n.RNG == nil {
 		return 0
@@ -241,12 +254,13 @@ func (c ChargingUnit) Output(dot float64, n *Noise) float64 {
 	if c.FullScale <= 0 {
 		panic("analog: ChargingUnit with non-positive FullScale")
 	}
-	ratio := c.CapRatio
-	if ratio == 0 {
-		ratio = 1
-	}
 	full := float64(c.MaxCode()) * c.TDel
-	t := full * dot / c.FullScale / ratio
+	t := full * dot / c.FullScale
+	// Dividing by a unit capacitor ratio is an exact identity; skip it so
+	// the hot psum path pays one division, not two.
+	if ratio := c.CapRatio; ratio != 0 && ratio != 1 {
+		t /= ratio
+	}
 	if n != nil {
 		t += n.gauss(n.ComparatorSigma)
 	}

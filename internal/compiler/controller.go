@@ -144,22 +144,18 @@ func (c *Controller) forward(in *tensor.Int, calibrate bool) ([]int, error) {
 			if cur == nil {
 				return nil, fmt.Errorf("compiler: conv %q after flattening", l.Name)
 			}
-			cols, e, f := tensor.Im2Col(cur, l.Z, l.G, l.S, l.Pad)
+			rows, e, f := tensor.Im2ColDims(cur, l.Z, l.G, l.S, l.Pad)
+			inputs := make([]int, rows*e*f)
+			tensor.Im2ColIntoInts(cur, l.Z, l.G, l.S, l.Pad, inputs)
+			flat := make([]int, e*f*l.D)
+			if err := m.ForwardBatch(inputs, e*f, flat); err != nil {
+				return nil, err
+			}
 			raw := make([][]int, l.D)
 			for d := range raw {
 				raw[d] = make([]int, e*f)
-			}
-			inputs := make([]int, len(cols))
-			for p := 0; p < e*f; p++ {
-				for r := range cols {
-					inputs[r] = int(cols[r][p])
-				}
-				psums, err := m.Compute(inputs)
-				if err != nil {
-					return nil, err
-				}
-				for d, v := range psums {
-					raw[d][p] = v
+				for p := 0; p < e*f; p++ {
+					raw[d][p] = flat[p*l.D+d]
 				}
 			}
 			last := l.Name == weighted[len(weighted)-1].Name

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// benchConvInputs builds the small convolution the functional pipeline is
+// verified on (3×8×8 input, eight 3×3 filters).
+func benchConvInputs() (*tensor.Int, *tensor.Filter) {
+	rng := stats.NewRNG(1)
+	in := tensor.NewInt(3, 8, 8)
+	for i := range in.Data {
+		in.Data[i] = int32(rng.Intn(256))
+	}
+	f := tensor.NewFilter(8, 3, 3, 3)
+	for i := range f.Data {
+		f.Data[i] = int32(rng.Intn(255)) - 127
+	}
+	return in, f
+}
+
+// BenchmarkConvForward measures one full functional convolution through the
+// analog datapath (ideal-interface mode).
+func BenchmarkConvForward(b *testing.B) {
+	in, f := benchConvInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunConv(IdealOptions(nil), in, f, 1, 1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

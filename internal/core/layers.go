@@ -11,11 +11,11 @@ import (
 // with O2IR access accounting (§IV-D). Input-side costs follow the
 // only-once-input-read schedule: every input is read from the L1 buffer and
 // DTC-converted exactly once; horizontal filter slides reach their reused
-// inputs through X-subBuf shifts (principle 3), counted per slide. Compute()
-// re-derives the per-wave time vectors numerically, which is identical to
-// holding them in X-subBufs in the noise-free/DTC-noise-free case the
-// accuracy study uses (DTC jitter defaults to zero; X-subBuf hop noise is
-// injected inside Compute).
+// inputs through X-subBuf shifts (principle 3), counted per slide. The
+// im2col patch batch flows through ForwardBatch, which re-derives the
+// per-wave time vectors numerically — identical to holding them in
+// X-subBufs in the noise-free/DTC-noise-free case the accuracy study uses
+// (DTC jitter defaults to zero; X-subBuf hop noise is injected per wave).
 
 // ConvResult bundles a functional conv/FC execution's outputs.
 type ConvResult struct {
@@ -52,18 +52,17 @@ func RunConv(opt Options, in *tensor.Int, w *tensor.Filter, stride, pad int, app
 		s.add(energy.XSubBufOp, energy.ClassInput, nIn*float64(shifts))
 	}
 
-	cols, e, f := tensor.Im2Col(in, w.Z, w.G, stride, pad)
+	rows, e, f := tensor.Im2ColDims(in, w.Z, w.G, stride, pad)
+	inputs := growInt(&s.ar.inputs, rows*e*f)
+	tensor.Im2ColIntoInts(in, w.Z, w.G, stride, pad, inputs)
+	psums := growInt(&s.ar.psums, e*f*w.D)
+	if err := m.ForwardBatch(inputs, e*f, psums); err != nil {
+		return nil, err
+	}
 	out := tensor.NewInt(w.D, e, f)
-	inputs := make([]int, len(cols))
 	for p := 0; p < e*f; p++ {
-		for r := range cols {
-			inputs[r] = int(cols[r][p])
-		}
-		psums, err := m.Compute(inputs)
-		if err != nil {
-			return nil, err
-		}
-		for d, v := range psums {
+		for d := 0; d < w.D; d++ {
+			v := psums[p*w.D+d]
 			if applyReLU && v < 0 {
 				v = 0
 			}

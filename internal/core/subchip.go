@@ -13,6 +13,16 @@
 // package tensor; in the 8-bit Table II mode its quantisation error is
 // bounded by the per-layer scale, and the accuracy experiment measures the
 // end-to-end effect together with injected circuit noise.
+//
+// Hot-path organisation: crossbars are materialised lazily (a mapped layer
+// touches a handful of the 16×12 grid), every wave reuses a per-sub-chip
+// scratch arena instead of allocating, and the crossbar dot products go
+// through the flat-conductance kernels of package reram. When the noise
+// configuration is deterministic, ForwardBatch additionally batches whole
+// input blocks through the matrix–matrix kernel; with randomness configured
+// it falls back to strictly ordered per-wave execution so RNG draw sequences
+// (and therefore artifact bytes) are identical to repeated Compute calls.
+// Sub-chips are not safe for concurrent use.
 package core
 
 import (
@@ -24,6 +34,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/params"
 	"repro/internal/reram"
+	"repro/internal/stats"
 )
 
 // Options configure a functional sub-chip.
@@ -45,6 +56,47 @@ type Options struct {
 	InputHops int
 }
 
+// pendingInject records a fault-injection pass deferred on a
+// not-yet-materialised crossbar: the fault map was already counted against
+// the live RNG, and rng is a clone snapshotted before the count so
+// materialisation replays the identical faults.
+type pendingInject struct {
+	rate float64
+	rng  *stats.RNG
+}
+
+// arena is the per-sub-chip scratch reused across waves: DTC time ladders,
+// pre-scaled inputs, per-crossbar column dots, I-adder contributions and the
+// layer executors' im2col/psum staging. Buffers only grow; a steady-state
+// wave allocates nothing.
+type arena struct {
+	timesAt  []float64
+	scaled   []float64
+	colDots  []float64
+	contribs []float64
+	inputs   []int
+	psums    []int
+}
+
+// growF resizes buf to n float64s, reallocating only on capacity growth.
+// Contents are unspecified; callers overwrite every element they read.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growInt is growF for int slices.
+func growInt(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // SubChip is the functional model of one TIMELY sub-chip.
 type SubChip struct {
 	cfg       params.TimelyConfig
@@ -53,12 +105,21 @@ type SubChip struct {
 	ifBits    int
 	inputHops int
 
-	grid []*reram.Crossbar // GridRows × GridCols, row-major
+	// grid holds GridRows × GridCols crossbar slots, row-major; slots stay
+	// nil until first touched (most layers use a small corner of the grid).
+	grid []*reram.Crossbar
+	// irDrop is applied to every crossbar at materialisation.
+	irDrop float64
+	// pending holds deferred fault injections per slot (nil when none).
+	pending [][]pendingInject
+
 	dtc  analog.DTC
 	tdc  analog.TDC
 	xbuf analog.XSubBuf
 	pbuf analog.PSubBuf
 	iadd analog.IAdder
+
+	ar arena
 }
 
 // NewSubChip builds an erased sub-chip.
@@ -71,7 +132,7 @@ func NewSubChip(opt Options) *SubChip {
 	if ifBits == 0 {
 		ifBits = params.DTCBits
 	}
-	s := &SubChip{
+	return &SubChip{
 		cfg:       cfg,
 		noise:     opt.Noise,
 		ledger:    opt.Ledger,
@@ -81,18 +142,38 @@ func NewSubChip(opt Options) *SubChip {
 		dtc:       analog.DTC{Bits: params.DTCBits, TDel: params.TDel},
 		tdc:       analog.TDC{Bits: ifBits, TDel: params.TDel},
 	}
-	for i := range s.grid {
-		s.grid[i] = reram.New(cfg.B, cfg.CellBits)
-	}
-	return s
 }
 
 // Config returns the sub-chip's architecture configuration.
 func (s *SubChip) Config() params.TimelyConfig { return s.cfg }
 
+// xbar returns the crossbar in grid slot i, materialising it on first touch
+// (IR-drop configuration applied, deferred fault injections replayed from
+// their RNG snapshots).
+func (s *SubChip) xbar(i int) *reram.Crossbar {
+	if x := s.grid[i]; x != nil {
+		return x
+	}
+	x := reram.New(s.cfg.B, s.cfg.CellBits)
+	if s.irDrop != 0 {
+		x.SetIRDrop(s.irDrop)
+	}
+	if s.pending != nil {
+		for _, p := range s.pending[i] {
+			if _, err := x.InjectStuckFaults(p.rate, p.rng); err != nil {
+				// The rate was validated when the injection was counted.
+				panic(err)
+			}
+		}
+		s.pending[i] = nil
+	}
+	s.grid[i] = x
+	return x
+}
+
 // Crossbar returns the array at grid position (row, col).
 func (s *SubChip) Crossbar(row, col int) *reram.Crossbar {
-	return s.grid[row*s.cfg.GridCols+col]
+	return s.xbar(row*s.cfg.GridCols + col)
 }
 
 // ApplyDeviceVariation draws per-cell conductance errors on every crossbar.
@@ -100,8 +181,8 @@ func (s *SubChip) ApplyDeviceVariation(sigma float64) {
 	if s.noise == nil || s.noise.RNG == nil {
 		return
 	}
-	for _, x := range s.grid {
-		x.ApplyVariation(sigma, s.noise.RNG)
+	for i := range s.grid {
+		s.xbar(i).ApplyVariation(sigma, s.noise.RNG)
 	}
 }
 
@@ -109,8 +190,11 @@ func (s *SubChip) ApplyDeviceVariation(sigma float64) {
 // (see reram.SetIRDrop). Apply before MapDense so the per-layer scale is
 // chosen against the attenuated conductances seen at compute time.
 func (s *SubChip) ApplyIRDrop(alpha float64) {
+	s.irDrop = alpha
 	for _, x := range s.grid {
-		x.SetIRDrop(alpha)
+		if x != nil {
+			x.SetIRDrop(alpha)
+		}
 	}
 }
 
@@ -118,13 +202,33 @@ func (s *SubChip) ApplyIRDrop(alpha float64) {
 // (half SA0, half SA1). Call before MapDense: stuck cells ignore later
 // programming, and MapDense reads the array back so its per-layer scale
 // covers the faulted conductances. Requires a noise RNG.
+//
+// Crossbars not yet materialised only have their faults counted here — the
+// identical random sequence is consumed either way — and the physical
+// injection is replayed from an RNG snapshot if the crossbar is touched
+// later, so the returned fault map and all downstream results match an
+// eager injection exactly.
 func (s *SubChip) InjectFaults(rate float64) (reram.FaultMap, error) {
 	if s.noise == nil || s.noise.RNG == nil {
 		return reram.FaultMap{}, fmt.Errorf("core: fault injection needs Options.Noise with an RNG")
 	}
 	var total reram.FaultMap
-	for _, x := range s.grid {
-		fm, err := x.InjectStuckFaults(rate, s.noise.RNG)
+	cells := s.cfg.B * s.cfg.B
+	for i := range s.grid {
+		var fm reram.FaultMap
+		var err error
+		if s.grid[i] != nil {
+			fm, err = s.grid[i].InjectStuckFaults(rate, s.noise.RNG)
+		} else {
+			snap := s.noise.RNG.Clone()
+			fm, err = reram.CountStuckFaults(cells, rate, s.noise.RNG)
+			if err == nil {
+				if s.pending == nil {
+					s.pending = make([][]pendingInject, len(s.grid))
+				}
+				s.pending[i] = append(s.pending[i], pendingInject{rate: rate, rng: snap})
+			}
+		}
 		if err != nil {
 			return reram.FaultMap{}, err
 		}
@@ -159,6 +263,8 @@ type MappedLayer struct {
 	gridRowsUsed, gridColsUsed int
 	// colsPerArm is the nibble-column count of one magnitude group.
 	colsPerArm int
+	// physCols is the total bit-cell column count (D·2·colsPerArm).
+	physCols int
 }
 
 // physColsPerWeight returns the physical bit-cell columns one weight
@@ -188,13 +294,14 @@ func (s *SubChip) MapDense(weights [][]int) (*MappedLayer, error) {
 		Rows:         rows,
 		D:            d,
 		colsPerArm:   colsPerArm,
+		physCols:     physCols,
 		gridRowsUsed: (rows + cfg.B - 1) / cfg.B,
 		gridColsUsed: (physCols + cfg.B - 1) / cfg.B,
 	}
 	// Program cells and track the worst-case per-column level sum for the
 	// per-layer scale choice.
 	maxColSum := 0
-	colSums := make(map[int]int)
+	colSums := make([]int, physCols)
 	for di, wrow := range weights {
 		if len(wrow) != rows {
 			return nil, fmt.Errorf("core: ragged weight matrix at channel %d", di)
@@ -213,12 +320,13 @@ func (s *SubChip) MapDense(weights [][]int) (*MappedLayer, error) {
 				gcol := m.globalCol(di, arm, nib)
 				gr, lr := r/cfg.B, r%cfg.B
 				gc, lc := gcol/cfg.B, gcol%cfg.B
-				if err := s.Crossbar(gr, gc).Program(lr, lc, level); err != nil {
+				xb := s.Crossbar(gr, gc)
+				if err := xb.Program(lr, lc, level); err != nil {
 					return nil, err
 				}
 				// Read the actual level back: stuck-at cells keep their
 				// pinned value, and the per-layer scale must cover it.
-				actual := s.Crossbar(gr, gc).Level(lr, lc)
+				actual := xb.Level(lr, lc)
 				if actual > 0 {
 					colSums[gcol] += int(actual)
 					if colSums[gcol] > maxColSum {
@@ -246,6 +354,17 @@ func (m *MappedLayer) globalCol(d, arm, nib int) int {
 	return (d*armsPerWeight+arm)*m.colsPerArm + nib
 }
 
+// chargingUnit returns the layer's psum charging stage (Eq. 2 with the
+// per-layer full scale).
+func (m *MappedLayer) chargingUnit() analog.ChargingUnit {
+	return analog.ChargingUnit{
+		FullScale: float64(int(1)<<m.sc.ifBits-1) * float64(int64(1)<<m.ScaleShift),
+		CapRatio:  1,
+		TDel:      params.TDel,
+		Bits:      m.sc.ifBits,
+	}
+}
+
 // Compute runs one dot-product wave: the input codes (one per row,
 // 0..255) flow through the full analog path and the method returns the D
 // signed psums in dot units (already rescaled by 2^ScaleShift). Accounting
@@ -253,73 +372,96 @@ func (m *MappedLayer) globalCol(d, arm, nib int) int {
 // operations; input-side L1/DTC costs are counted by the layer executors,
 // which own the O2IR reuse schedule.
 func (m *MappedLayer) Compute(inputs []int) ([]int, error) {
-	s := m.sc
-	cfg := s.cfg
 	if len(inputs) != m.Rows {
 		return nil, fmt.Errorf("core: %d inputs for %d mapped rows", len(inputs), m.Rows)
 	}
-	// DTC conversion of the input vector (per-row times). Energy for these
-	// conversions is attributed by the caller (O2IR converts once per input,
-	// not once per wave).
-	times := make([]float64, len(inputs))
+	psums := make([]int, m.D)
+	if err := m.computeInto(inputs, psums); err != nil {
+		return nil, err
+	}
+	return psums, nil
+}
+
+// computeInto is the allocation-free wave executor behind Compute: the same
+// operation — and, with noise configured, RNG draw — sequence as the
+// original per-wave path, with the per-column crossbar reads replaced by one
+// flat DotColumns pass per crossbar (the dots are deterministic, so hoisting
+// them ahead of the mirror/comparator draws changes nothing).
+func (m *MappedLayer) computeInto(inputs []int, psums []int) error {
+	s := m.sc
+	cfg := s.cfg
+	rows := m.Rows
+
+	// DTC conversion of the input vector (per-row times), plus the optional
+	// input-hop cascade. Energy for these conversions is attributed by the
+	// caller (O2IR converts once per input, not once per wave).
+	timesAt := growF(&s.ar.timesAt, m.gridColsUsed*rows)
+	t0 := timesAt[:rows]
 	for i, code := range inputs {
 		t, err := s.dtc.Convert(code, s.noise)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		times[i] = s.xbuf.PropagateChain(t, s.inputHops, s.noise)
+		t0[i] = s.xbuf.PropagateChain(t, s.inputHops, s.noise)
 	}
 	if s.inputHops > 0 {
-		s.add(energy.XSubBufOp, energy.ClassInput, float64(s.inputHops*len(inputs)))
+		s.add(energy.XSubBufOp, energy.ClassInput, float64(s.inputHops*rows))
 	}
 	// Propagate the times across the grid columns through X-subBufs.
-	// timesAt[gc] holds the signal as seen by grid column gc; column 0 sees
-	// the DTC outputs directly (Fig. 6(a)).
-	timesAt := make([][]float64, m.gridColsUsed)
-	timesAt[0] = times
+	// timesAt[gc·rows:] holds the signal as seen by grid column gc; column 0
+	// sees the DTC outputs directly (Fig. 6(a)).
 	for gc := 1; gc < m.gridColsUsed; gc++ {
-		prev := timesAt[gc-1]
-		next := make([]float64, len(prev))
+		prev := timesAt[(gc-1)*rows : gc*rows]
+		next := timesAt[gc*rows : (gc+1)*rows]
 		for i, t := range prev {
 			next[i] = s.xbuf.Propagate(t, s.noise)
 		}
-		timesAt[gc] = next
-		s.add(energy.XSubBufOp, energy.ClassInput, float64(len(prev)))
+		s.add(energy.XSubBufOp, energy.ClassInput, float64(rows))
 	}
 	s.add(energy.CrossbarOp, energy.ClassCompute, float64(m.gridRowsUsed*m.gridColsUsed))
 
-	cu := analog.ChargingUnit{
-		FullScale: float64(int(1)<<s.ifBits-1) * float64(int64(1)<<m.ScaleShift),
-		CapRatio:  1,
-		TDel:      params.TDel,
-		Bits:      s.ifBits,
+	// Pre-scale times into code units once per wave (the old path divided by
+	// TDel per element *per column*) and gather every used column dot of
+	// every crossbar in one row-major kernel pass each.
+	scaled := growF(&s.ar.scaled, m.gridColsUsed*rows)
+	for i, t := range timesAt {
+		scaled[i] = t / params.TDel
 	}
-	psums := make([]int, m.D)
+	colDots := growF(&s.ar.colDots, m.gridRowsUsed*m.physCols)
+	for gr := 0; gr < m.gridRowsUsed; gr++ {
+		lo := gr * cfg.B
+		hi := lo + cfg.B
+		if hi > rows {
+			hi = rows
+		}
+		for gc := 0; gc < m.gridColsUsed; gc++ {
+			c0 := gc * cfg.B
+			nc := m.physCols - c0
+			if nc > cfg.B {
+				nc = cfg.B
+			}
+			s.Crossbar(gr, gc).DotColumns(scaled[gc*rows+lo:gc*rows+hi], 0, nc,
+				colDots[gr*m.physCols+c0:gr*m.physCols+c0+nc])
+		}
+	}
+
+	cu := m.chargingUnit()
+	contribs := growF(&s.ar.contribs, m.gridRowsUsed)
 	for d := 0; d < m.D; d++ {
 		acc := 0
 		for arm := 0; arm < armsPerWeight; arm++ {
 			armDot := 0
 			for nib := 0; nib < m.colsPerArm; nib++ {
 				gcol := m.globalCol(d, arm, nib)
-				gc, lc := gcol/cfg.B, gcol%cfg.B
 				// Gather the column current from every vertical crossbar,
 				// each through its own P-subBuf mirror (§V: not cascaded;
 				// the bottom crossbar feeds the I-adder directly).
-				contribs := make([]float64, 0, m.gridRowsUsed)
 				for gr := 0; gr < m.gridRowsUsed; gr++ {
-					lo := gr * cfg.B
-					hi := lo + cfg.B
-					if hi > len(timesAt[gc]) {
-						hi = len(timesAt[gc])
-					}
-					if lo >= hi {
-						break
-					}
-					dot := s.Crossbar(gr, gc).ColumnDot(timesAt[gc][lo:hi], lc, params.TDel)
+					dot := colDots[gr*m.physCols+gcol]
 					if gr < m.gridRowsUsed-1 {
 						dot = s.pbuf.Mirror(dot, s.noise)
 					}
-					contribs = append(contribs, dot)
+					contribs[gr] = dot
 				}
 				if n := m.gridRowsUsed - 1; n > 0 {
 					s.add(energy.PSubBufOp, energy.ClassPsum, float64(n))
@@ -341,7 +483,174 @@ func (m *MappedLayer) Compute(inputs []int) ([]int, error) {
 		// Digital recombination: one shift-and-add per column sample.
 		s.add(energy.ShiftAddOp, energy.ClassDigital, float64(m.physColsPerWeight()))
 	}
-	return psums, nil
+	return nil
+}
+
+// ForwardBatch runs nvec input vectors (flat, vector-major: vector v at
+// inputs[v·Rows : (v+1)·Rows]) through the analog path, writing the signed
+// psums to out[v·D : (v+1)·D]. It amortises the sub-chip's scratch arena —
+// and, when the noise configuration is deterministic, whole blocks of waves
+// through the matrix–matrix crossbar kernel — across the batch. With
+// randomness configured the waves execute strictly in order, so the RNG draw
+// sequence (and every result) is identical to nvec successive Compute calls.
+func (m *MappedLayer) ForwardBatch(inputs []int, nvec int, out []int) error {
+	if nvec < 0 || len(inputs) != nvec*m.Rows {
+		return fmt.Errorf("core: %d batched inputs for %d waves of %d mapped rows",
+			len(inputs), nvec, m.Rows)
+	}
+	if len(out) != nvec*m.D {
+		return fmt.Errorf("core: batch output %d for %d waves of %d channels",
+			len(out), nvec, m.D)
+	}
+	// The batched fast path additionally assumes the sub-chip's zero-INL
+	// interfaces (always true for SubChip-built converters; checked so a
+	// future nonlinearity knob cannot silently change results).
+	if m.sc.noise.Deterministic() && m.sc.tdc.INL == 0 {
+		return m.forwardBatchDet(inputs, nvec, out)
+	}
+	for v := 0; v < nvec; v++ {
+		if err := m.computeInto(inputs[v*m.Rows:(v+1)*m.Rows], out[v*m.D:(v+1)*m.D]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchBlock bounds the scratch footprint of the deterministic batched
+// path: waves are processed in blocks of this many input vectors.
+const batchBlock = 64
+
+// forwardBatchDet is the deterministic ForwardBatch fast path. Every
+// circuit stage computes exactly what the per-wave path would (same
+// operands, same order within each wave) — only the crossbar dots are
+// hoisted into blocked matrix–matrix kernel calls and the X-subBuf copies
+// elided (they are exact identities without noise), so the psums are
+// bit-identical to per-wave execution.
+func (m *MappedLayer) forwardBatchDet(inputs []int, nvec int, out []int) error {
+	s := m.sc
+	cfg := s.cfg
+	rows, d := m.Rows, m.D
+	cu := m.chargingUnit()
+	// Inlined deterministic quantisation constants: the charging stage maps
+	// dot → full·dot/FullScale clamped to [0, full], the TDC divides by TDel
+	// and rounds — the identical operation sequence ChargingUnit.Output and
+	// TDC.Convert perform when every noise draw is zero.
+	maxCode := cu.MaxCode()
+	full := float64(maxCode) * cu.TDel
+	fs := cu.FullScale
+	// With a zero-INL DTC, code·TDel/TDel reproduces float64(code) exactly
+	// (both operations are exact for 8-bit codes).
+	dtcFast := s.dtc.INL == 0
+	dtcLevels := s.dtc.Levels()
+	for base := 0; base < nvec; base += batchBlock {
+		n := nvec - base
+		if n > batchBlock {
+			n = batchBlock
+		}
+		// DTC conversion, pre-scaled into code units. Without noise the
+		// X-subBuf hop cascade and grid-column propagation are identities,
+		// so one scaled ladder serves every grid column.
+		scaled := growF(&s.ar.scaled, n*rows)
+		for v := 0; v < n; v++ {
+			in := inputs[(base+v)*rows : (base+v+1)*rows]
+			sv := scaled[v*rows : (v+1)*rows]
+			if dtcFast {
+				for i, code := range in {
+					if code < 0 || code >= dtcLevels {
+						return fmt.Errorf("analog: DTC code %d out of [0,%d)", code, dtcLevels)
+					}
+					sv[i] = float64(code)
+				}
+				continue
+			}
+			for i, code := range in {
+				t, err := s.dtc.Convert(code, s.noise)
+				if err != nil {
+					return err
+				}
+				sv[i] = t / params.TDel
+			}
+		}
+		// Blocked matrix–matrix dots: one kernel call per crossbar covers
+		// the whole block. Layout: colDots[(gr·n + v)·physCols + gcol].
+		colDots := growF(&s.ar.colDots, m.gridRowsUsed*n*m.physCols)
+		for gr := 0; gr < m.gridRowsUsed; gr++ {
+			lo := gr * cfg.B
+			hi := lo + cfg.B
+			if hi > rows {
+				hi = rows
+			}
+			for gc := 0; gc < m.gridColsUsed; gc++ {
+				c0 := gc * cfg.B
+				nc := m.physCols - c0
+				if nc > cfg.B {
+					nc = cfg.B
+				}
+				s.Crossbar(gr, gc).DotColumnsBatch(scaled[lo:], n, rows, hi-lo, 0, nc,
+					colDots[gr*n*m.physCols+c0:], m.physCols)
+			}
+		}
+		// Interface stages per wave: P-subBuf mirrors are identities without
+		// noise, the I-adder sum runs in the same ascending-grid-row order.
+		for v := 0; v < n; v++ {
+			o := out[(base+v)*d : (base+v+1)*d]
+			for di := 0; di < d; di++ {
+				acc := 0
+				for arm := 0; arm < armsPerWeight; arm++ {
+					armDot := 0
+					for nib := 0; nib < m.colsPerArm; nib++ {
+						gcol := m.globalCol(di, arm, nib)
+						total := 0.0
+						for gr := 0; gr < m.gridRowsUsed; gr++ {
+							total += colDots[(gr*n+v)*m.physCols+gcol]
+						}
+						// Charging + TDC, inlined (see constants above).
+						t := full * total / fs
+						if t < 0 {
+							t = 0
+						} else if t > full {
+							t = full
+						}
+						code := int(math.Round(t / cu.TDel))
+						if code < 0 {
+							code = 0
+						} else if code > maxCode {
+							code = maxCode
+						}
+						armDot = armDot<<uint(cfg.CellBits) + code
+					}
+					if arm == 0 {
+						acc += armDot
+					} else {
+						acc -= armDot
+					}
+				}
+				o[di] = acc << uint(m.ScaleShift)
+			}
+		}
+		// Ledger accounting, aggregated to the same totals n per-wave
+		// Computes would produce (all counts are integral, so the float
+		// sums are exact regardless of grouping).
+		if s.ledger != nil {
+			fn := float64(n)
+			if s.inputHops > 0 {
+				s.add(energy.XSubBufOp, energy.ClassInput, fn*float64(s.inputHops*rows))
+			}
+			if m.gridColsUsed > 1 {
+				s.add(energy.XSubBufOp, energy.ClassInput, fn*float64((m.gridColsUsed-1)*rows))
+			}
+			s.add(energy.CrossbarOp, energy.ClassCompute, fn*float64(m.gridRowsUsed*m.gridColsUsed))
+			groups := fn * float64(d*armsPerWeight*m.colsPerArm)
+			if m.gridRowsUsed > 1 {
+				s.add(energy.PSubBufOp, energy.ClassPsum, groups*float64(m.gridRowsUsed-1))
+			}
+			s.add(energy.IAdderOp, energy.ClassPsum, groups)
+			s.add(energy.ChargingOp, energy.ClassPsum, groups)
+			s.add(energy.TDCConv, energy.ClassPsum, groups)
+			s.add(energy.ShiftAddOp, energy.ClassDigital, fn*float64(d*m.physColsPerWeight()))
+		}
+	}
+	return nil
 }
 
 // QuantizationBound returns the worst-case absolute psum error of one wave

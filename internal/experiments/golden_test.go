@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAccuracyAblationGolden locks the text artifacts of the two
+// Monte-Carlo-heavy experiments byte-for-byte against a golden capture from
+// before the batched/flat-kernel datapath landed: the performance work must
+// never change a single output byte. Regenerate the golden (only after an
+// intentional modelling change) with:
+//
+//	go run ./cmd/timely accuracy ablation -par 1 \
+//	    > internal/experiments/testdata/accuracy_ablation.golden
+func TestAccuracyAblationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "accuracy_ablation.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []Experiment
+	for _, id := range []string{"accuracy", "ablation"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	var got bytes.Buffer
+	if err := WriteText(&got, Run(exps, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("accuracy+ablation text output differs from golden (%d vs %d bytes);\n"+
+			"the functional datapath must stay byte-identical — if the change is an\n"+
+			"intentional modelling change, regenerate the golden (see comment)",
+			got.Len(), len(want))
+	}
+}

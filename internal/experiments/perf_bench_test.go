@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+)
+
+// BenchmarkAccuracyTrial measures one Monte-Carlo trial of the §VI-B
+// accuracy study: mapping the memoized quantised classifier onto functional
+// sub-chips and evaluating the held-out test split through the analog path.
+// Training is memoized outside the timed loop.
+func BenchmarkAccuracyTrial(b *testing.B) {
+	tm, err := accuracyMLP(2020)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := tm.q.MapAnalog(core.Options{
+			Noise:         analog.DefaultNoise(2020 + uint64(i)*7919),
+			InterfaceBits: 24,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Accuracy(tm.test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDefectTrial measures one (rate, draw) unit of the stuck-at-fault
+// ablation: mapping the memoized CNN onto faulted crossbars and evaluating
+// the test split.
+func BenchmarkDefectTrial(b *testing.B) {
+	tc, err := defectCNN(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := tc.cnn.MapAnalog(core.Options{
+			Noise:         analog.DefaultNoise(uint64(i) + 1),
+			InterfaceBits: 24,
+		}, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Accuracy(tc.test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,19 +47,35 @@ func (f FaultMap) Total() int { return f.SA0 + f.SA1 }
 // at level 0, half at the maximum level (the usual 50/50 SAF split in the
 // defect literature). Faulted cells override whatever was programmed and
 // ignore later Program calls. It returns the injected fault map.
+//
+// The random sequence consumed is exactly one uniform deviate per cell plus
+// one more per faulted cell; CountStuckFaults consumes the identical
+// sequence, which lets callers defer the array mutation and replay it later
+// from a cloned generator.
 func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, error) {
 	if rate < 0 || rate > 1 {
 		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
 	}
-	if x.faults == nil {
-		x.faults = make([]int8, len(x.levels))
-	}
+	x.invalidate()
 	var fm FaultMap
+	// The fault slice is only allocated once the first fault lands, so
+	// low-rate draws on large arrays stay allocation-free. The generator
+	// works on a stack copy (state stays in registers) and the uniform
+	// comparisons run in the pre-division domain — float64(u>>11)/2^53 ⋛ p
+	// iff float64(u>>11) ⋛ p·2^53, both sides exact — so the loop consumes
+	// the identical deviate sequence without a float division per cell.
+	local := *rng
+	thresh := rate * float64(1<<53)
 	for i := range x.levels {
-		if rng.Float64() >= rate {
+		u := local.Uint64()
+		if float64(u>>11) >= thresh {
 			continue
 		}
-		if rng.Float64() < 0.5 {
+		if x.faults == nil {
+			x.faults = make([]int8, len(x.levels))
+		}
+		// Float64() < 0.5 ⇔ the top bit of the raw draw is clear.
+		if local.Uint64() < 1<<63 {
 			x.faults[i] = faultSA0
 			x.levels[i] = 0
 			fm.SA0++
@@ -69,12 +85,79 @@ func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, er
 			fm.SA1++
 		}
 	}
+	*rng = local
+	return fm, nil
+}
+
+// CountStuckFaults draws the same random sequence InjectStuckFaults would
+// consume over n cells and returns the fault map it would realise, without
+// touching any array. Package core uses it to account faults on crossbars
+// that are never computed on, deferring the physical injection until a
+// crossbar is materialised (replayed from a generator clone snapshotted
+// before this call).
+func CountStuckFaults(n int, rate float64, rng *stats.RNG) (FaultMap, error) {
+	if rate < 0 || rate > 1 {
+		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
+	}
+	var fm FaultMap
+	// Same register-resident, division-free draw loop as InjectStuckFaults
+	// (see the equivalence argument there); this is the hottest loop of the
+	// defect sweep, which walks millions of cells per trial. At low rates
+	// most 4-cell blocks contain no fault, so the loop speculates a clear
+	// block of four independent draws (the mixes pipeline) and replays the
+	// block from a generator snapshot on a hit — the consumed sequence is
+	// identical either way. High rates hit most blocks, where speculation
+	// only adds replays, so they take the scalar loop directly.
+	local := *rng
+	thresh := rate * float64(1<<53)
+	i := 0
+	if rate <= 0.05 {
+		for n-i >= 4 {
+			snap := local
+			u0 := local.Uint64()
+			u1 := local.Uint64()
+			u2 := local.Uint64()
+			u3 := local.Uint64()
+			if float64(u0>>11) >= thresh && float64(u1>>11) >= thresh &&
+				float64(u2>>11) >= thresh && float64(u3>>11) >= thresh {
+				i += 4
+				continue
+			}
+			local = snap
+			for k := 0; k < 4; k++ {
+				if u := local.Uint64(); float64(u>>11) >= thresh {
+					continue
+				}
+				if local.Uint64() < 1<<63 {
+					fm.SA0++
+				} else {
+					fm.SA1++
+				}
+			}
+			i += 4
+		}
+	}
+	for ; i < n; i++ {
+		u := local.Uint64()
+		if float64(u>>11) >= thresh {
+			continue
+		}
+		if local.Uint64() < 1<<63 {
+			fm.SA0++
+		} else {
+			fm.SA1++
+		}
+	}
+	*rng = local
 	return fm, nil
 }
 
 // ClearFaults removes all injected faults (programmed levels of previously
 // faulted cells remain at their pinned values until reprogrammed).
-func (x *Crossbar) ClearFaults() { x.faults = nil }
+func (x *Crossbar) ClearFaults() {
+	x.faults = nil
+	x.invalidate()
+}
 
 // IsFaulty reports whether the cell carries a stuck-at fault.
 func (x *Crossbar) IsFaulty(row, col int) bool {

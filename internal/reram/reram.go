@@ -8,6 +8,14 @@
 // (Gmax = 1/Rmin) cancels into the charging unit's full scale, mirroring how
 // Eq. 2 cancels Rmin. Device variation multiplies the level by (1+δ) with
 // Gaussian δ.
+//
+// The dot-product kernels operate on a cached flat effective-conductance
+// matrix: the branchy per-cell path (level, variation, IR drop) is evaluated
+// once per cell into a contiguous []float64 and every kernel — single-column,
+// multi-column and batched — reads the cache. Any state mutation (Program,
+// ApplyVariation, SetIRDrop, fault injection) invalidates it; the cache is
+// rebuilt lazily and only for the row prefix a kernel actually touches.
+// Crossbars are not safe for concurrent use.
 package reram
 
 import (
@@ -31,6 +39,15 @@ type Crossbar struct {
 	faults []int8
 	// irDrop is the wire-resistance attenuation coefficient (0 = ideal).
 	irDrop float64
+
+	// flat caches the effective conductances of the first flatRows rows
+	// (row-major, stride B). flatRows == 0 means the cache is stale.
+	flat     []float64
+	flatRows int
+	// scaled and dots are kernel scratch reused by SubRangedDot so the
+	// recombining decoders stay allocation-free.
+	scaled []float64
+	dots   []float64
 }
 
 // New returns an erased (all-zero) crossbar. It panics on non-positive
@@ -44,6 +61,9 @@ func New(b, cellBits int) *Crossbar {
 
 // MaxLevel returns the highest programmable level.
 func (x *Crossbar) MaxLevel() uint8 { return uint8(int(1)<<x.CellBits - 1) }
+
+// invalidate drops the cached conductance matrix.
+func (x *Crossbar) invalidate() { x.flatRows = 0 }
 
 // Program writes one cell. It returns an error if the coordinates are out
 // of range or the level exceeds the cell's capability.
@@ -59,6 +79,7 @@ func (x *Crossbar) Program(row, col int, level uint8) error {
 		return nil
 	}
 	x.levels[row*x.B+col] = level
+	x.invalidate()
 	return nil
 }
 
@@ -69,6 +90,7 @@ func (x *Crossbar) Level(row, col int) uint8 { return x.levels[row*x.B+col] }
 // with the given sigma for every cell (the ReRAM device-variation model the
 // accuracy study injects alongside circuit noise).
 func (x *Crossbar) ApplyVariation(sigma float64, rng *stats.RNG) {
+	x.invalidate()
 	if sigma == 0 {
 		x.variation = nil
 		return
@@ -85,9 +107,13 @@ func (x *Crossbar) ApplyVariation(sigma float64, rng *stats.RNG) {
 // sensing column see a degraded voltage. α = 0 disables the effect. TIMELY
 // bounds α by keeping arrays at 256×256 and re-driving signals through ALBs
 // (§V: the buffers "increase the driving ability of loads").
-func (x *Crossbar) SetIRDrop(alpha float64) { x.irDrop = alpha }
+func (x *Crossbar) SetIRDrop(alpha float64) {
+	x.irDrop = alpha
+	x.invalidate()
+}
 
-// cond returns the effective conductance of a cell in level units.
+// cond returns the effective conductance of a cell in level units. It is
+// the scalar reference the flat cache is built from.
 func (x *Crossbar) cond(row, col int) float64 {
 	g := float64(x.levels[row*x.B+col])
 	if x.variation != nil {
@@ -97,6 +123,40 @@ func (x *Crossbar) cond(row, col int) float64 {
 		g /= 1 + x.irDrop*float64(row+col)/float64(2*x.B)
 	}
 	return g
+}
+
+// ensureFlat returns the cached conductance matrix with at least the first
+// rows rows valid, rebuilding the stale prefix lazily. Kernels that touch
+// only a short row prefix (a partially filled array) pay only for that
+// prefix.
+func (x *Crossbar) ensureFlat(rows int) []float64 {
+	if rows > x.B {
+		rows = x.B
+	}
+	if rows > x.flatRows {
+		need := rows * x.B
+		if cap(x.flat) < need {
+			x.flat = make([]float64, need)
+			x.flatRows = 0
+		}
+		x.flat = x.flat[:need]
+		for r := x.flatRows; r < rows; r++ {
+			base := r * x.B
+			for c := 0; c < x.B; c++ {
+				x.flat[base+c] = x.cond(r, c)
+			}
+		}
+		x.flatRows = rows
+	}
+	return x.flat
+}
+
+// CondMatrix returns the full cached effective-conductance matrix (row-major,
+// B×B, level units), rebuilding any stale part. The slice is owned by the
+// crossbar: callers must not modify it, and any Program/ApplyVariation/
+// SetIRDrop/fault-injection call invalidates it.
+func (x *Crossbar) CondMatrix() []float64 {
+	return x.ensureFlat(x.B)
 }
 
 // ColumnDot integrates the column current over the applied input times:
@@ -110,13 +170,123 @@ func (x *Crossbar) ColumnDot(times []float64, col int, tdel float64) float64 {
 	if len(times) > x.B {
 		panic(fmt.Sprintf("reram: %d input rows exceed array size %d", len(times), x.B))
 	}
+	g := x.ensureFlat(len(times))
+	b := x.B
 	dot := 0.0
 	for i, t := range times {
-		if g := x.cond(i, col); g != 0 {
-			dot += t / tdel * g
+		if gi := g[i*b+col]; gi != 0 {
+			dot += t / tdel * gi
 		}
 	}
 	return dot
+}
+
+// DotColumns computes the dot products of the ncols adjacent columns
+// starting at col0 against pre-scaled inputs (scaled[i] = times[i]/tdel),
+// overwriting out[0:ncols]. One row-major pass over the cached conductance
+// matrix serves every column; each column accumulates its terms in ascending
+// row order, so the results are bit-identical to per-column ColumnDot calls.
+// The kernel allocates nothing.
+func (x *Crossbar) DotColumns(scaled []float64, col0, ncols int, out []float64) {
+	if col0 < 0 || ncols < 0 || col0+ncols > x.B {
+		panic(fmt.Sprintf("reram: columns [%d,%d) outside array", col0, col0+ncols))
+	}
+	if len(scaled) > x.B {
+		panic(fmt.Sprintf("reram: %d input rows exceed array size %d", len(scaled), x.B))
+	}
+	if len(out) < ncols {
+		panic("reram: DotColumns output shorter than ncols")
+	}
+	g := x.ensureFlat(len(scaled))
+	b := x.B
+	out = out[:ncols]
+	for j := range out {
+		out[j] = 0
+	}
+	for i, s := range scaled {
+		if s == 0 {
+			continue
+		}
+		row := g[i*b+col0 : i*b+col0+ncols]
+		for j, gj := range row {
+			out[j] += s * gj
+		}
+	}
+}
+
+// DotColumnsBatch is the matrix–matrix kernel: it runs nvec pre-scaled input
+// vectors through DotColumns in a single blocked pass over the conductance
+// matrix. Vector v occupies scaled[v*istride : v*istride+rows] and its
+// results land in out[v*ostride : v*ostride+ncols]. Iteration is row-major
+// (conductance rows stream once for the whole batch) but each column still
+// accumulates in ascending row order, so every vector's result is
+// bit-identical to a DotColumns call. The kernel allocates nothing.
+func (x *Crossbar) DotColumnsBatch(scaled []float64, nvec, istride, rows, col0, ncols int, out []float64, ostride int) {
+	if col0 < 0 || ncols < 0 || col0+ncols > x.B {
+		panic(fmt.Sprintf("reram: columns [%d,%d) outside array", col0, col0+ncols))
+	}
+	if rows > x.B {
+		panic(fmt.Sprintf("reram: %d input rows exceed array size %d", rows, x.B))
+	}
+	if nvec < 0 || istride < rows || ostride < ncols {
+		panic("reram: DotColumnsBatch stride shorter than vector extent")
+	}
+	if nvec > 0 {
+		if len(scaled) < (nvec-1)*istride+rows {
+			panic("reram: DotColumnsBatch input shorter than batch extent")
+		}
+		if len(out) < (nvec-1)*ostride+ncols {
+			panic("reram: DotColumnsBatch output shorter than batch extent")
+		}
+	}
+	g := x.ensureFlat(rows)
+	b := x.B
+	for v := 0; v < nvec; v++ {
+		o := out[v*ostride : v*ostride+ncols]
+		for j := range o {
+			o[j] = 0
+		}
+	}
+	// Two conductance rows per pass, keeping each column's accumulation
+	// serial (o[j] + s0·g0[j], then + s1·g1[j]) so the float result stays
+	// bit-identical to the row-at-a-time order.
+	i := 0
+	for ; i+1 < rows; i += 2 {
+		g0 := g[i*b+col0 : i*b+col0+ncols]
+		g1 := g[(i+1)*b+col0 : (i+1)*b+col0+ncols]
+		for v := 0; v < nvec; v++ {
+			s0 := scaled[v*istride+i]
+			s1 := scaled[v*istride+i+1]
+			o := out[v*ostride : v*ostride+ncols]
+			switch {
+			case s0 != 0 && s1 != 0:
+				for j, gj := range g0 {
+					o[j] = o[j] + s0*gj + s1*g1[j]
+				}
+			case s0 != 0:
+				for j, gj := range g0 {
+					o[j] += s0 * gj
+				}
+			case s1 != 0:
+				for j, gj := range g1 {
+					o[j] += s1 * gj
+				}
+			}
+		}
+	}
+	if i < rows {
+		grow := g[i*b+col0 : i*b+col0+ncols]
+		for v := 0; v < nvec; v++ {
+			s := scaled[v*istride+i]
+			if s == 0 {
+				continue
+			}
+			o := out[v*ostride : v*ostride+ncols]
+			for j, gj := range grow {
+				o[j] += s * gj
+			}
+		}
+	}
 }
 
 // ProgramWeightColumns writes one weight vector (unsigned codes of
@@ -149,13 +319,29 @@ func (x *Crossbar) ProgramWeightColumns(col0 int, codes []int, weightBits int) (
 // Σ over nibble columns of dot_i · 2^(CellBits·(n−1−i)). This is the digital
 // shift-and-add of Fig. 6(a) ⑤ applied to exact column dots; the functional
 // TIMELY pipeline in package core routes the same quantities through
-// charging units and TDCs instead.
+// charging units and TDCs instead. The nibble-column dots come from one
+// DotColumns pass over the cached conductance matrix.
 func (x *Crossbar) SubRangedDot(times []float64, col0, weightBits int, tdel float64) float64 {
 	ncols := (weightBits + x.CellBits - 1) / x.CellBits
+	if len(times) > x.B {
+		panic(fmt.Sprintf("reram: %d input rows exceed array size %d", len(times), x.B))
+	}
+	if cap(x.scaled) < len(times) {
+		x.scaled = make([]float64, len(times))
+	}
+	scaled := x.scaled[:len(times)]
+	for i, t := range times {
+		scaled[i] = t / tdel
+	}
+	if cap(x.dots) < ncols {
+		x.dots = make([]float64, ncols)
+	}
+	dots := x.dots[:ncols]
+	x.DotColumns(scaled, col0, ncols, dots)
 	dot := 0.0
-	for i := 0; i < ncols; i++ {
+	for i, d := range dots {
 		shift := x.CellBits * (ncols - 1 - i)
-		dot += x.ColumnDot(times, col0+i, tdel) * float64(int64(1)<<shift)
+		dot += d * float64(int64(1)<<shift)
 	}
 	return dot
 }

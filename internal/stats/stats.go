@@ -24,6 +24,15 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Clone returns an independent generator that will produce exactly the same
+// deviate sequence as the receiver from this point on. The functional
+// simulator snapshots generators to replay deferred per-crossbar fault
+// injection deterministically.
+func (r *RNG) Clone() *RNG {
+	cp := *r
+	return &cp
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -230,39 +230,72 @@ func RequantizeShift(t *Int, sh int, maxCode int32) *Int {
 	return t
 }
 
-// Im2Col unrolls convolution receptive fields into a matrix with one row per
-// input-patch element (C·Z·G rows) and one column per output position
-// (E·F columns), matching the row layout weights take inside crossbars.
-func Im2Col(in *Int, z, g, stride, pad int) ([][]int32, int, int) {
-	e := ConvOut(in.Shape.H, z, stride, pad)
-	f := ConvOut(in.Shape.W, z, stride, pad)
-	if g != z {
-		f = ConvOut(in.Shape.W, g, stride, pad)
+// Im2ColDims returns the unrolled-matrix dimensions of an im2col pass:
+// rows = C·Z·G patch elements, and the E×F output positions.
+func Im2ColDims(in *Int, z, g, stride, pad int) (rows, e, f int) {
+	e = ConvOut(in.Shape.H, z, stride, pad)
+	f = ConvOut(in.Shape.W, g, stride, pad)
+	return in.Shape.C * z * g, e, f
+}
+
+// Im2ColInto unrolls convolution receptive fields into dst, a caller-provided
+// flat buffer of at least rows·E·F elements holding one patch (receptive
+// field) per output position: dst[(y*F+x)*rows + r], with patch element
+// r = (c·Z+i)·G + j — the row layout weights take inside crossbars and the
+// input-vector layout the batched forward kernels consume. Out-of-bounds
+// taps are written as zero (zero padding). It returns (rows, e, f) and
+// panics if dst is too small; it allocates nothing.
+func Im2ColInto(in *Int, z, g, stride, pad int, dst []int32) (rows, e, f int) {
+	return im2colFill(in, z, g, stride, pad, dst)
+}
+
+// Im2ColIntoInts is Im2ColInto writing widened codes into an []int buffer —
+// the input type the functional executor consumes — saving callers a
+// separate widening copy.
+func Im2ColIntoInts(in *Int, z, g, stride, pad int, dst []int) (rows, e, f int) {
+	return im2colFill(in, z, g, stride, pad, dst)
+}
+
+// im2colFill is the shared patch-major unrolling behind both Im2ColInto
+// variants.
+func im2colFill[T int32 | int](in *Int, z, g, stride, pad int, dst []T) (rows, e, f int) {
+	rows, e, f = Im2ColDims(in, z, g, stride, pad)
+	if len(dst) < rows*e*f {
+		panic(fmt.Sprintf("tensor: im2col buffer %d shorter than %d", len(dst), rows*e*f))
 	}
-	rows := in.Shape.C * z * g
-	cols := e * f
-	m := make([][]int32, rows)
-	for r := range m {
-		m[r] = make([]int32, cols)
-	}
-	for c := 0; c < in.Shape.C; c++ {
-		for i := 0; i < z; i++ {
-			for j := 0; j < g; j++ {
-				r := (c*z+i)*g + j
-				for y := 0; y < e; y++ {
-					for x := 0; x < f; x++ {
-						hy := y*stride + i - pad
-						wx := x*stride + j - pad
-						if hy < 0 || hy >= in.Shape.H || wx < 0 || wx >= in.Shape.W {
-							continue
+	h, w, ch := in.Shape.H, in.Shape.W, in.Shape.C
+	p := 0
+	for y := 0; y < e; y++ {
+		for x := 0; x < f; x++ {
+			patch := dst[p*rows : (p+1)*rows]
+			r := 0
+			for c := 0; c < ch; c++ {
+				cbase := c * h * w
+				for i := 0; i < z; i++ {
+					hy := y*stride + i - pad
+					if hy < 0 || hy >= h {
+						for j := 0; j < g; j++ {
+							patch[r] = 0
+							r++
 						}
-						m[r][y*f+x] = in.At(c, hy, wx)
+						continue
+					}
+					rowbase := cbase + hy*w
+					wx := x*stride - pad
+					for j := 0; j < g; j++ {
+						if wx+j < 0 || wx+j >= w {
+							patch[r] = 0
+						} else {
+							patch[r] = T(in.Data[rowbase+wx+j])
+						}
+						r++
 					}
 				}
 			}
+			p++
 		}
 	}
-	return m, e, f
+	return rows, e, f
 }
 
 func saturate32(v int64) int32 {

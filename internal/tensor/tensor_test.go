@@ -162,15 +162,17 @@ func TestIm2ColMatchesConv(t *testing.T) {
 	}
 	stride, pad := 1, 1
 	ref := Conv2D(in, w, nil, stride, pad)
-	cols, e, f := Im2Col(in, 3, 3, stride, pad)
+	rows, e, f := Im2ColDims(in, 3, 3, stride, pad)
+	patches := make([]int32, rows*e*f)
+	Im2ColInto(in, 3, 3, stride, pad, patches)
 	if e != ref.Shape.H || f != ref.Shape.W {
 		t.Fatalf("im2col dims %dx%d, conv dims %dx%d", e, f, ref.Shape.H, ref.Shape.W)
 	}
 	for d := 0; d < w.D; d++ {
 		for p := 0; p < e*f; p++ {
 			var acc int64
-			for r := 0; r < len(cols); r++ {
-				acc += int64(cols[r][p]) * int64(w.Data[d*len(cols)+r])
+			for r := 0; r < rows; r++ {
+				acc += int64(patches[p*rows+r]) * int64(w.Data[d*rows+r])
 			}
 			if got := ref.Data[d*e*f+p]; int64(got) != acc {
 				t.Fatalf("im2col mismatch at d=%d p=%d: %d vs %d", d, p, acc, got)

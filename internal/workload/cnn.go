@@ -173,6 +173,11 @@ type AnalogCNN struct {
 	convMap  *core.MappedLayer
 	head     *AnalogMLP
 	faultMap int // total stuck cells injected (0 when clean)
+
+	// Per-instance scratch reused across Predict calls (an AnalogCNN is
+	// driven by one goroutine at a time).
+	inputs []int
+	psums  []int
 }
 
 // MapAnalog programs the conv filter bank and the head. faultRate > 0
@@ -210,19 +215,23 @@ func (a *AnalogCNN) Faults() int { return a.faultMap }
 // head.
 func (a *AnalogCNN) Predict(img *tensor.Int) (int, error) {
 	c := a.cnn
-	cols, e, f := tensor.Im2Col(img, c.Filters.Z, c.Filters.G, c.Stride, c.Pad)
+	rows, e, f := tensor.Im2ColDims(img, c.Filters.Z, c.Filters.G, c.Stride, c.Pad)
+	if cap(a.inputs) < rows*e*f {
+		a.inputs = make([]int, rows*e*f)
+	}
+	inputs := a.inputs[:rows*e*f]
+	tensor.Im2ColIntoInts(img, c.Filters.Z, c.Filters.G, c.Stride, c.Pad, inputs)
+	if cap(a.psums) < e*f*c.Filters.D {
+		a.psums = make([]int, e*f*c.Filters.D)
+	}
+	psums := a.psums[:e*f*c.Filters.D]
+	if err := a.convMap.ForwardBatch(inputs, e*f, psums); err != nil {
+		return 0, err
+	}
 	conv := tensor.NewInt(c.Filters.D, e, f)
-	inputs := make([]int, len(cols))
 	for p := 0; p < e*f; p++ {
-		for r := range cols {
-			inputs[r] = int(cols[r][p])
-		}
-		psums, err := a.convMap.Compute(inputs)
-		if err != nil {
-			return 0, err
-		}
-		for d, v := range psums {
-			conv.Data[d*e*f+p] = int32(v)
+		for d := 0; d < c.Filters.D; d++ {
+			conv.Data[d*e*f+p] = int32(psums[p*c.Filters.D+d])
 		}
 	}
 	tensor.RequantizeShift(conv, c.FeatShift, 255)

@@ -59,7 +59,7 @@ func TestConvGradientNumeric(t *testing.T) {
 		conv := m.convForward(normalize(img))
 		feat, _ := m.poolForward(conv)
 		acts := m.Head.forward(feat)
-		probs := softmax(acts[len(acts)-1])
+		probs := m.Head.softmaxInto(acts[len(acts)-1])
 		return -math.Log(math.Max(probs[label], 1e-12))
 	}
 

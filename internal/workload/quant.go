@@ -114,18 +114,25 @@ func intFC(codes []int, w [][]int) []int64 {
 	return out
 }
 
+// requantCode shifts one psum down and clamps it into a ReLU'd 8-bit code —
+// the single source of truth for the requantisation both the integer
+// reference and the analog pipeline apply between layers.
+func requantCode(p int64, sh int) int {
+	v := p >> uint(sh)
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return int(v)
+}
+
 // requant shifts psums down and clamps into ReLU'd 8-bit codes.
 func requant(psums []int64, sh int) []int {
 	out := make([]int, len(psums))
 	for i, p := range psums {
-		v := p >> uint(sh)
-		if v < 0 {
-			v = 0
-		}
-		if v > 255 {
-			v = 255
-		}
-		out[i] = int(v)
+		out[i] = requantCode(p, sh)
 	}
 	return out
 }
@@ -159,6 +166,11 @@ func (q *QuantMLP) AccuracyInt(d *Dataset) float64 {
 type AnalogMLP struct {
 	q      *QuantMLP
 	mapped []*core.MappedLayer
+
+	// codes and psums are per-instance scratch reused across Predict calls
+	// (an AnalogMLP is driven by one goroutine at a time).
+	codes []int
+	psums []int
 }
 
 // MapAnalog programs every layer onto a fresh functional sub-chip with the
@@ -176,12 +188,22 @@ func (q *QuantMLP) MapAnalog(opt core.Options) (*AnalogMLP, error) {
 	return a, nil
 }
 
-// Predict classifies x through the analog pipeline.
+// Predict classifies x through the analog pipeline. Layer traversal reuses
+// the instance scratch, so steady-state inference allocates nothing.
 func (a *AnalogMLP) Predict(x []float64) (int, error) {
-	codes := a.q.quantizeInput(x)
+	if cap(a.codes) < len(x) {
+		a.codes = make([]int, len(x))
+	}
+	codes := a.codes[:len(x)]
+	for i, v := range x {
+		codes[i] = a.q.InQ.Quantize(v)
+	}
 	for l, m := range a.mapped {
-		psums, err := m.Compute(codes)
-		if err != nil {
+		if cap(a.psums) < m.D {
+			a.psums = make([]int, m.D)
+		}
+		psums := a.psums[:m.D]
+		if err := m.ForwardBatch(codes, 1, psums); err != nil {
 			return 0, err
 		}
 		if l == len(a.mapped)-1 {
@@ -193,11 +215,14 @@ func (a *AnalogMLP) Predict(x []float64) (int, error) {
 			}
 			return bi, nil
 		}
-		p64 := make([]int64, len(psums))
-		for i, v := range psums {
-			p64[i] = int64(v)
+		// Requantise into the code scratch.
+		if cap(a.codes) < len(psums) {
+			a.codes = make([]int, len(psums))
 		}
-		codes = requant(p64, a.q.Shifts[l])
+		codes = a.codes[:len(psums)]
+		for i, p := range psums {
+			codes[i] = requantCode(int64(p), a.q.Shifts[l])
+		}
 	}
 	return 0, nil
 }

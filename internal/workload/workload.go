@@ -68,13 +68,22 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
 }
 
 // MLP is a fully-connected ReLU network trained with SGD on softmax
-// cross-entropy.
+// cross-entropy. Forward and SGD passes reuse per-instance scratch, so an
+// MLP must be driven by one goroutine at a time.
 type MLP struct {
 	// Sizes holds layer widths, input first.
 	Sizes []int
 	// W[l][o][i] and B[l][o] are the trainable parameters.
 	W [][][]float64
 	B [][]float64
+
+	// Scratch reused across forward/SGD passes: layer activations, the two
+	// alternating gradient ladders, softmax probabilities and the
+	// noise-perturbed input of TrainWithNoise.
+	acts         [][]float64
+	gradA, gradB []float64
+	probs        []float64
+	noisy        []float64
 }
 
 // NewMLP builds an MLP with He-style random initialisation.
@@ -99,12 +108,19 @@ func NewMLP(rng *stats.RNG, sizes ...int) *MLP {
 	return m
 }
 
-// forward returns all layer activations (post-ReLU except the last).
+// forward returns all layer activations (post-ReLU except the last). The
+// returned slices are instance scratch, overwritten by the next pass.
 func (m *MLP) forward(x []float64) [][]float64 {
-	acts := [][]float64{x}
+	if m.acts == nil {
+		m.acts = make([][]float64, len(m.Sizes))
+		for l := 1; l < len(m.Sizes); l++ {
+			m.acts[l] = make([]float64, m.Sizes[l])
+		}
+	}
+	m.acts[0] = x
 	cur := x
 	for l := range m.W {
-		next := make([]float64, len(m.W[l]))
+		next := m.acts[l+1]
 		last := l == len(m.W)-1
 		for o, row := range m.W[l] {
 			s := m.B[l][o]
@@ -116,10 +132,9 @@ func (m *MLP) forward(x []float64) [][]float64 {
 			}
 			next[o] = s
 		}
-		acts = append(acts, next)
 		cur = next
 	}
-	return acts
+	return m.acts
 }
 
 // Predict returns the argmax class for x.
@@ -180,7 +195,10 @@ func (m *MLP) TrainWithNoise(d *Dataset, rng *stats.RNG, epochs int, lr, actSigm
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		loss = 0
 		for _, s := range idx {
-			x := make([]float64, len(d.X[s]))
+			if cap(m.noisy) < len(d.X[s]) {
+				m.noisy = make([]float64, len(d.X[s]))
+			}
+			x := m.noisy[:len(d.X[s])]
 			for j, v := range d.X[s] {
 				x[j] = v * (1 + rng.Gauss(0, actSigma))
 			}
@@ -200,26 +218,42 @@ func (m *MLP) step(x []float64, y int, lr float64) float64 {
 // stepWithInputGrad performs one SGD update and additionally returns the
 // loss gradient with respect to the input vector (un-gated — upstream
 // layers apply their own activation derivative), which lets convolutional
-// front-ends backpropagate through the head.
+// front-ends backpropagate through the head. The returned slice is instance
+// scratch, valid until the next pass.
 func (m *MLP) stepWithInputGrad(x []float64, y int, lr float64) (float64, []float64) {
 	acts := m.forward(x)
 	out := acts[len(acts)-1]
-	probs := softmax(out)
+	probs := m.softmaxInto(out)
 	loss := -math.Log(math.Max(probs[y], 1e-12))
-	// Backprop: delta at output = probs - onehot.
-	delta := make([]float64, len(out))
+	if m.gradA == nil {
+		maxW := 0
+		for _, s := range m.Sizes {
+			if s > maxW {
+				maxW = s
+			}
+		}
+		m.gradA = make([]float64, maxW)
+		m.gradB = make([]float64, maxW)
+	}
+	// Backprop: delta at output = probs - onehot. The delta/prev ladders
+	// alternate between the two scratch buffers.
+	delta, other := m.gradA[:len(out)], m.gradB
 	copy(delta, probs)
 	delta[y] -= 1
 	var inputGrad []float64
 	for l := len(m.W) - 1; l >= 0; l-- {
 		in := acts[l]
-		prev := make([]float64, len(in))
+		prev := other[:len(in)]
+		for i := range prev {
+			prev[i] = 0
+		}
 		for o, row := range m.W[l] {
 			g := delta[o]
 			m.B[l][o] -= lr * g
-			for i := range row {
-				prev[i] += g * row[i]
-				row[i] -= lr * g * in[i]
+			lg := lr * g
+			for i, ri := range row {
+				prev[i] += g * ri
+				row[i] = ri - lg*in[i]
 			}
 		}
 		if l > 0 {
@@ -229,7 +263,7 @@ func (m *MLP) stepWithInputGrad(x []float64, y int, lr float64) (float64, []floa
 					prev[i] = 0
 				}
 			}
-			delta = prev
+			delta, other = prev, delta[:cap(delta)]
 		} else {
 			inputGrad = prev
 		}
@@ -237,17 +271,21 @@ func (m *MLP) stepWithInputGrad(x []float64, y int, lr float64) (float64, []floa
 	return loss, inputGrad
 }
 
-func softmax(xs []float64) []float64 {
-	m := xs[0]
+// softmaxInto computes softmax(xs) into the instance probability scratch.
+func (m *MLP) softmaxInto(xs []float64) []float64 {
+	mx := xs[0]
 	for _, v := range xs[1:] {
-		if v > m {
-			m = v
+		if v > mx {
+			mx = v
 		}
 	}
+	if cap(m.probs) < len(xs) {
+		m.probs = make([]float64, len(xs))
+	}
+	out := m.probs[:len(xs)]
 	s := 0.0
-	out := make([]float64, len(xs))
 	for i, v := range xs {
-		out[i] = math.Exp(v - m)
+		out[i] = math.Exp(v - mx)
 		s += out[i]
 	}
 	for i := range out {
