@@ -10,6 +10,7 @@ package repro
 // caches each iteration to time cold, end-to-end executions.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -30,7 +31,7 @@ func renderNull(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Render(io.Discard); err != nil {
+		if err := e.Render(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +55,7 @@ func BenchmarkFig8a(b *testing.B) {
 	var geo experiments.Fig8aRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, geo, err = experiments.Fig8a()
+		_, geo, err = experiments.Fig8a(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig8b(b *testing.B) {
 	var rows []experiments.Fig8bRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig8b()
+		rows, err = experiments.Fig8b(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig9(b *testing.B) {
 	var f *experiments.Fig9
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiments.RunFig9()
+		f, err = experiments.RunFig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkFig11(b *testing.B) {
 	var r experiments.Fig11Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.RunFig11()
+		r, err = experiments.RunFig11(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkAccuracy(b *testing.B) {
 	var res *experiments.AccuracyResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunAccuracy(2020, 3)
+		res, err = experiments.RunAccuracy(context.Background(), 2020, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func benchRunAll(b *testing.B, par int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCaches()
-		for _, r := range experiments.Run(experiments.All(), par) {
+		for _, r := range experiments.Run(context.Background(), experiments.All(), experiments.Options{Par: par}) {
 			if r.Err != nil {
 				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
 			}

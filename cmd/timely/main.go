@@ -3,25 +3,30 @@
 //
 // Usage:
 //
-//	timely list                     enumerate the available experiments
+//	timely list [flags]             enumerate the available experiments
 //	timely all [flags]              run every experiment
 //	timely <id> [...] [flags]       run specific experiments (fig4, table5, ...)
 //
-// Flags (after the experiment names):
+// Flags (before, between or after the experiment names):
 //
-//	-format text|csv|json   output format (default text)
+//	-format text|csv|json   output format (default text); list supports text|json
 //	-out <dir>              write one file per experiment into dir
 //	-par N                  run N experiments concurrently (default GOMAXPROCS)
+//	-timeout <dur>          abort the run after this long (e.g. 30s; 0 = none)
 //	-v                      print a per-experiment timing summary to stderr
 //	-cpuprofile <file>      write a pprof CPU profile of the run
 //	-memprofile <file>      write a pprof heap profile taken after the run
 //
 // Experiments execute on a worker pool; output is always emitted in the
 // requested order regardless of completion order, so -par does not change
-// the bytes produced.
+// the bytes produced. -timeout cancels the run's context: experiments (and
+// Monte-Carlo work units inside them) that have not started when it fires
+// are skipped and the run exits with an error.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -47,6 +53,7 @@ type options struct {
 	format     string
 	outDir     string
 	par        int
+	timeout    time.Duration
 	vrbose     bool
 	cpuprofile string
 	memprofile string
@@ -66,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.format, "format", "text", "output format: text, csv or json")
 	fs.StringVar(&opt.outDir, "out", "", "write one file per experiment into this directory")
 	fs.IntVar(&opt.par, "par", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+	fs.DurationVar(&opt.timeout, "timeout", 0, "abort the run after this long (0 = no timeout)")
 	fs.BoolVar(&opt.vrbose, "v", false, "print a per-experiment timing summary to stderr")
 	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile taken after the run to this file")
@@ -96,10 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		usage(stdout)
 		return nil
 	case words[0] == "list":
-		for _, e := range experiments.All() {
-			fmt.Fprintf(stdout, "  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
-		}
-		return nil
+		return list(stdout, opt.format)
 	}
 
 	var exps []experiments.Experiment
@@ -119,6 +124,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "text", "csv", "json":
 	default:
 		return fmt.Errorf("unknown format %q (want text, csv or json)", opt.format)
+	}
+	// The worker pool treats any par < 1 as one worker; clamp here so the
+	// timing summary and docs never see a nonsensical value either.
+	if opt.par < 1 {
+		opt.par = 1
 	}
 
 	if opt.cpuprofile != "" {
@@ -140,7 +150,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
-	results := experiments.Run(exps, opt.par)
+	ctx := context.Background()
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
+	results := experiments.Run(ctx, exps, experiments.Options{Par: opt.par})
 	if opt.vrbose {
 		timingSummary(stderr, results)
 	}
@@ -155,6 +171,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return experiments.WriteText(stdout, results)
 	}
+}
+
+// list writes the experiment index — aligned text by default, or a
+// machine-readable JSON array of {id, paper, description} objects with
+// -format json.
+func list(w io.Writer, format string) error {
+	switch format {
+	case "text":
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return nil
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(experiments.Index())
+	}
+	return fmt.Errorf("unknown list format %q (want text or json)", format)
 }
 
 // writeHeapProfile snapshots the post-run heap (after a final GC, so the
@@ -238,7 +272,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "timely — regenerate the TIMELY (ISCA 2020) evaluation artifacts")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "usage:")
-	fmt.Fprintln(w, "  timely list                enumerate experiments")
+	fmt.Fprintln(w, "  timely list [flags]        enumerate experiments (text or json)")
 	fmt.Fprintln(w, "  timely all [flags]         run every experiment")
 	fmt.Fprintln(w, "  timely <id> [...] [flags]  run specific experiments")
 	fmt.Fprintln(w)
@@ -246,6 +280,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  -format text|csv|json  output format (default text)")
 	fmt.Fprintln(w, "  -out <dir>             write one file per experiment into dir")
 	fmt.Fprintln(w, "  -par N                 concurrent experiments (default GOMAXPROCS)")
+	fmt.Fprintln(w, "  -timeout <dur>         abort the run after this long (0 = none)")
 	fmt.Fprintln(w, "  -v                     per-experiment timing summary on stderr")
 	fmt.Fprintln(w, "  -cpuprofile <file>     write a pprof CPU profile of the run")
 	fmt.Fprintln(w, "  -memprofile <file>     write a pprof heap profile after the run")

@@ -180,3 +180,56 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		t.Fatal("output differs between profiled and plain runs")
 	}
 }
+
+func TestListFormatJSON(t *testing.T) {
+	out := runOut(t, "list", "-format", "json")
+	var idx []struct {
+		ID          string `json:"id"`
+		Paper       string `json:"paper"`
+		Description string `json:"description"`
+	}
+	if err := json.Unmarshal([]byte(out), &idx); err != nil {
+		t.Fatalf("list -format json is not valid JSON: %v\n%s", err, out)
+	}
+	ids := map[string]bool{}
+	for _, e := range idx {
+		ids[e.ID] = true
+		if e.Paper == "" || e.Description == "" {
+			t.Errorf("entry %q missing paper/description", e.ID)
+		}
+	}
+	for _, want := range []string{"fig4", "table5", "accuracy", "ablation"} {
+		if !ids[want] {
+			t.Errorf("list -format json missing %s", want)
+		}
+	}
+	// Flag order must not matter, and csv is not a list format.
+	if got := runOut(t, "-format", "json", "list"); got != out {
+		t.Errorf("flag position changed list output")
+	}
+	if err := run([]string{"list", "-format", "csv"}, io.Discard, io.Discard); err == nil {
+		t.Errorf("list -format csv accepted")
+	}
+}
+
+func TestParClampedToOne(t *testing.T) {
+	want := runOut(t, "table5", "fig10", "-par", "1")
+	for _, par := range []string{"0", "-4"} {
+		if got := runOut(t, "table5", "fig10", "-par", par); got != want {
+			t.Errorf("-par %s output differs from -par 1", par)
+		}
+	}
+}
+
+func TestTimeoutAbortsAndGenerousTimeoutPasses(t *testing.T) {
+	// An already-expired deadline must abort before any experiment runs.
+	err := run([]string{"fig4", "-timeout", "1ns"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("expired timeout err = %v, want deadline exceeded", err)
+	}
+	// A generous timeout must not change the output bytes.
+	want := runOut(t, "table5")
+	if got := runOut(t, "table5", "-timeout", "1m"); got != want {
+		t.Errorf("-timeout 1m changed output")
+	}
+}

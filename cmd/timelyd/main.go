@@ -1,0 +1,80 @@
+// Command timelyd serves the TIMELY reproduction's evaluation capabilities
+// over HTTP — the traffic-facing face of the public sim facade.
+//
+// Endpoints:
+//
+//	GET  /healthz               liveness, backend and experiment inventory
+//	POST /v1/evaluate           run one sim.EvalRequest, returns sim.EvalResult
+//	GET  /v1/experiments        the experiment index
+//	GET  /v1/experiments/{id}   regenerate one paper artifact
+//
+// The experiment endpoints negotiate their representation: JSON for
+// Accept: application/json, CSV for Accept: text/csv, aligned text
+// otherwise; a ?format=text|csv|json query parameter overrides. Errors are
+// JSON bodies of the form {"error": "..."}.
+//
+// Flags:
+//
+//	-addr <host:port>   listen address (default :8080)
+//	-par N              worker budget per experiment request (default GOMAXPROCS)
+//	-timeout <dur>      per-request compute budget (default 2m; 0 = none)
+//
+// Every request's computation runs under the request context plus -timeout:
+// a disconnecting client or an expired budget cancels the in-flight
+// evaluation between work units. Identical heavy inputs (benchmark
+// networks, baseline evaluations, trained classifiers) are memoized
+// process-wide, so concurrent requests for the same artifact compute it
+// once. The process drains in-flight requests on SIGINT/SIGTERM before
+// exiting (graceful shutdown, 10 s grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "worker budget per experiment request")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request compute budget (0 = none)")
+	flag.Parse()
+
+	srv := newServer(*par, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("timelyd: listening on %s (par=%d, timeout=%s)", *addr, srv.par, srv.timeout)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("timelyd: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("timelyd: signal received, draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("timelyd: forced close after grace period: %v", err)
+			hs.Close()
+		}
+	}
+	log.Printf("timelyd: bye")
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/sim"
+)
+
+// server is the timelyd request handler. All of its state is read-only
+// after construction, so one instance serves concurrent requests; the
+// heavy shared inputs behind it (benchmark networks, analytic baselines,
+// trained classifiers) live in sync.Once-keyed caches that compute each
+// value exactly once regardless of request concurrency.
+type server struct {
+	mux *http.ServeMux
+	// par is the inner worker budget one experiment request may use.
+	par int
+	// timeout bounds each request's compute; 0 means request-context only.
+	timeout time.Duration
+	started time.Time
+}
+
+func newServer(par int, timeout time.Duration) *server {
+	if par < 1 {
+		par = 1
+	}
+	s := &server{
+		mux:     http.NewServeMux(),
+		par:     par,
+		timeout: timeout,
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// requestContext derives the compute context for one request: the client's
+// context (cancelled on disconnect) bounded by the server's budget.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// errorStatus maps a computation error to its HTTP status: typed facade
+// errors are the client's fault, context expiry is a timeout, anything
+// else is ours.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, sim.ErrUnknownBackend),
+		errors.Is(err, sim.ErrUnknownNetwork),
+		errors.Is(err, sim.ErrInvalidOption):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the access log.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// writeJSON emits v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// pickFormat negotiates the representation of the experiment endpoints:
+// an explicit ?format= query parameter wins, then the Accept header, then
+// aligned text.
+func pickFormat(r *http.Request) (string, error) {
+	if f := r.URL.Query().Get("format"); f != "" {
+		switch f {
+		case "text", "csv", "json":
+			return f, nil
+		}
+		return "", fmt.Errorf("unknown format %q (want text, csv or json)", f)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		return "json", nil
+	case strings.Contains(accept, "text/csv"):
+		return "csv", nil
+	}
+	return "text", nil
+}
+
+// contentType maps a negotiated format to its response media type.
+func contentType(format string) string {
+	switch format {
+	case "json":
+		return "application/json; charset=utf-8"
+	case "csv":
+		return "text/csv; charset=utf-8"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// handleHealthz reports liveness plus the served inventory.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":      "ok",
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"backends":    sim.Backends(),
+		"experiments": len(experiments.All()),
+	})
+}
+
+// handleEvaluate decodes one sim.EvalRequest and runs it through the
+// public facade under the request context.
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req sim.EvalRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := sim.Evaluate(ctx, &req)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// experimentIndexTable renders the experiment inventory as a report table,
+// the same renderer stack the artifacts themselves use.
+func experimentIndexTable() *report.Table {
+	t := report.New("", "id", "paper", "description")
+	for _, e := range experiments.Index() {
+		t.Add(e.ID, e.Paper, e.Description)
+	}
+	return t
+}
+
+// handleExperimentIndex lists the runnable experiments.
+func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
+	format, err := pickFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch format {
+	case "json":
+		writeJSON(w, experiments.Index())
+	case "csv":
+		w.Header().Set("Content-Type", contentType(format))
+		experimentIndexTable().RenderCSV(w)
+	default:
+		w.Header().Set("Content-Type", contentType(format))
+		experimentIndexTable().Render(w)
+	}
+}
+
+// handleExperiment regenerates one paper artifact under the request
+// context and writes it in the negotiated representation.
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	format, err := pickFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := experiments.ByID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results := experiments.Run(ctx, []experiments.Experiment{e}, experiments.Options{Par: s.par})
+	if rerr := results[0].Err; rerr != nil {
+		writeError(w, errorStatus(rerr), fmt.Errorf("%s: %w", e.ID, rerr))
+		return
+	}
+	w.Header().Set("Content-Type", contentType(format))
+	switch format {
+	case "json":
+		results[0].Document().RenderJSON(w)
+	case "csv":
+		experiments.WriteCSV(w, results)
+	default:
+		experiments.WriteText(w, results)
+	}
+}

@@ -1,0 +1,314 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(1, time.Minute))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// get fetches a path and returns status, body and content type.
+func get(t *testing.T, ts *httptest.Server, path string, accept string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func postEvaluate(t *testing.T, ts *httptest.Server, body string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// errorBody asserts the uniform JSON error shape and returns the message.
+func errorBody(t *testing.T, body string) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Fatalf("body is not a JSON error object: %q (%v)", body, err)
+	}
+	return e.Error
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	status, body, ctype := get(t, ts, "/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("content type = %q", ctype)
+	}
+	var h struct {
+		Status      string   `json:"status"`
+		Backends    []string `json:"backends"`
+		Experiments int      `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Experiments < 10 || len(h.Backends) < 4 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestEvaluateHappyPath(t *testing.T) {
+	ts := testServer(t)
+	status, body := postEvaluate(t, ts, `{"backend":"timely","network":"VGG-D","chips":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var res struct {
+		Backend string  `json:"backend"`
+		Network string  `json:"network"`
+		Chips   int     `json:"chips"`
+		Energy  float64 `json:"energy_mj_per_image"`
+		IPS     float64 `json:"images_per_sec"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "timely" || res.Network != "VGG-D" || res.Chips != 2 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Energy <= 0 || res.IPS <= 0 {
+		t.Errorf("non-positive metrics: %+v", res)
+	}
+}
+
+func TestEvaluateBadRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown backend", `{"backend":"abacus","network":"VGG-D"}`},
+		{"unknown network", `{"backend":"timely","network":"GPT-7"}`},
+		{"invalid option", `{"backend":"timely","network":"VGG-D","bits":3}`},
+		{"inapplicable option", `{"backend":"prime","network":"VGG-D","gamma":4}`},
+		{"malformed json", `{"backend":`},
+		{"unknown field", `{"backend":"timely","network":"VGG-D","warp":9}`},
+	}
+	for _, tc := range cases {
+		status, body := postEvaluate(t, ts, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", tc.name, status, body)
+			continue
+		}
+		errorBody(t, body)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	// GET on the POST-only endpoint and POST on a GET-only endpoint.
+	status, _, _ := get(t, ts, "/v1/evaluate", "")
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/evaluate status = %d, want 405", status)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestExperimentIndexNegotiation(t *testing.T) {
+	ts := testServer(t)
+	status, body, ctype := get(t, ts, "/v1/experiments", "application/json")
+	if status != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("json index: status %d, type %q", status, ctype)
+	}
+	var idx []struct {
+		ID    string `json:"id"`
+		Paper string `json:"paper"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) < 10 {
+		t.Errorf("index has %d entries", len(idx))
+	}
+	status, body, ctype = get(t, ts, "/v1/experiments", "text/csv")
+	if status != http.StatusOK || !strings.Contains(ctype, "text/csv") ||
+		!strings.HasPrefix(body, "id,paper,description") {
+		t.Errorf("csv index: status %d, type %q, body %q", status, ctype, body[:40])
+	}
+	status, body, ctype = get(t, ts, "/v1/experiments", "")
+	if status != http.StatusOK || !strings.Contains(ctype, "text/plain") ||
+		!strings.Contains(body, "table5") {
+		t.Errorf("text index: status %d, type %q", status, ctype)
+	}
+	// The query parameter overrides the Accept header.
+	status, body, _ = get(t, ts, "/v1/experiments?format=json", "text/csv")
+	if status != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Errorf("format override ignored: %q", body[:40])
+	}
+	status, body, _ = get(t, ts, "/v1/experiments?format=yaml", "")
+	if status != http.StatusBadRequest {
+		t.Errorf("format=yaml: status %d, want 400", status)
+	}
+	errorBody(t, body)
+}
+
+func TestExperimentArtifact(t *testing.T) {
+	ts := testServer(t)
+	status, body, _ := get(t, ts, "/v1/experiments/table5", "")
+	if status != http.StatusOK || !strings.Contains(body, "Table V") {
+		t.Fatalf("text artifact: status %d, body %q", status, body)
+	}
+	status, body, _ = get(t, ts, "/v1/experiments/table5", "application/json")
+	if status != http.StatusOK {
+		t.Fatalf("json artifact: status %d", status)
+	}
+	var doc struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != "table5" || len(doc.Tables) == 0 || len(doc.Tables[0].Rows) == 0 {
+		t.Errorf("document = %+v", doc)
+	}
+	status, body, _ = get(t, ts, "/v1/experiments/table5?format=csv", "")
+	if status != http.StatusOK || !strings.HasPrefix(body, "# Table V") {
+		t.Errorf("csv artifact: status %d, body %q", status, body[:40])
+	}
+	status, body, _ = get(t, ts, "/v1/experiments/fig99", "")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", status)
+	}
+	errorBody(t, body)
+}
+
+// TestConcurrentRequests exercises the memoized caches and the worker pool
+// from many goroutines at once; run with -race this is the service's
+// concurrency-safety proof.
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	paths := []string{
+		"/v1/experiments/table5",
+		"/v1/experiments/fig10",
+		"/v1/experiments/table5?format=csv",
+		"/v1/experiments",
+		"/healthz",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				resp, err := ts.Client().Get(ts.URL + p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.ReadAll(resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", p, resp.StatusCode)
+				}
+			}(p)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"backend":"timely","network":"CNN-1","chips":%d}`, 1+i%3)
+			resp, err := ts.Client().Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("evaluate: status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRequestTimeout proves an expired compute budget aborts the run and
+// surfaces as a gateway timeout rather than hanging the handler.
+func TestRequestTimeout(t *testing.T) {
+	ts := httptest.NewServer(newServer(1, time.Nanosecond))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/experiments/table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	errorBody(t, string(body))
+}
+
+// TestClientDisconnectCancelsRun proves a dropped connection cancels the
+// in-flight computation context.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	s := newServer(1, time.Minute)
+	req := httptest.NewRequest(http.MethodGet, "/v1/experiments/table5", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // client already gone
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req.WithContext(ctx))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 for cancelled client", rec.Code)
+	}
+	errorBody(t, rec.Body.String())
+}

@@ -6,12 +6,22 @@
 // concurrent harness regenerating every table and figure of the paper's
 // evaluation with deterministic text, CSV and JSON output.
 //
+// The public API is the sim package: a Backend facade over the analytic
+// accelerators and the functional Monte-Carlo simulator, constructed via
+// sim.Open("timely"|"prime"|"isaac"|"functional", opts...) with
+// context-aware evaluation. cmd/timelyd serves it over HTTP.
+//
 // Run the harness with
 //
 //	go run ./cmd/timely all
 //
-// (see cmd/timely for the -format/-out/-par flags). See README.md for the
-// tour, DESIGN.md for the system inventory and per-experiment index, and
+// (see cmd/timely for the -format/-out/-par/-timeout flags), or the
+// service with
+//
+//	go run ./cmd/timelyd
+//
+// See README.md for the tour, DESIGN.md for the system inventory,
+// per-experiment index and the public API & service section, and
 // EXPERIMENTS.md for paper-vs-measured results. The bench harness lives in
 // bench_test.go; run it with
 //

@@ -1,84 +1,56 @@
-// accuracy_noise reproduces the §VI-B accuracy methodology end to end on a
-// synthetic workload: train a classifier in float, quantise it onto TIMELY's
-// 8-bit datapath, execute it through the functional analog pipeline with
-// Monte-Carlo circuit noise (Gaussian X-subBuf/P-subBuf/comparator errors,
-// worst-case 12-X-subBuf cascade), and sweep the noise to find the cliff the
-// paper's 40 ps design margin guards against.
+// accuracy_noise reproduces the §VI-B accuracy methodology through the
+// public sim facade's functional backend: a classifier trained in float,
+// quantised onto TIMELY's 8-bit datapath, executed through the functional
+// analog pipeline with Monte-Carlo circuit noise (Gaussian X-subBuf/
+// P-subBuf/comparator errors, worst-case 12-X-subBuf cascade), and a noise
+// sweep to find the cliff the paper's 40 ps design margin guards against.
+// The trained workload is memoized per seed, so the sweep trains once.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/analog"
-	"repro/internal/core"
-	"repro/internal/params"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/sim"
 )
 
 func main() {
-	rng := stats.NewRNG(7)
-	ds := workload.SyntheticClusters(rng, 3000, 16, 4, 0.3)
-	train, test := ds.Split(0.8)
+	ctx := context.Background()
 
-	m := workload.NewMLP(rng, 16, 48, 4)
-	loss := m.TrainWithNoise(train, rng, 30, 0.05, 0.02)
-	fmt.Printf("trained MLP 16-48-4 on synthetic clusters: loss %.4f, float accuracy %.1f%%\n",
-		loss, 100*m.Accuracy(test))
-
-	q, err := workload.Quantize(m, train, 8)
+	// Design point: the paper's ε=10 ps per X-subBuf, 12-hop cascade.
+	b, err := sim.Open("functional", sim.WithSeed(7), sim.WithTrials(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("8-bit quantised accuracy (integer reference): %.1f%%\n", 100*q.AccuracyInt(test))
-
-	// Design point: the paper's ε=10 ps per X-subBuf, 12-hop cascade.
-	designAcc := 0.0
-	const trials = 5
-	for i := 0; i < trials; i++ {
-		a, err := q.MapAnalog(core.Options{
-			Noise:         analog.DefaultNoise(uint64(1000 + i)),
-			InterfaceBits: 24,
-			InputHops:     params.MaxCascadedXSubBufs,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		acc, err := a.Accuracy(test)
-		if err != nil {
-			log.Fatal(err)
-		}
-		designAcc += acc
+	res, err := b.Evaluate(ctx, "mlp")
+	if err != nil {
+		log.Fatal(err)
 	}
-	designAcc /= trials
-	fmt.Printf("analog accuracy at the design point (%d trials): %.1f%%\n", trials, 100*designAcc)
+	acc := res.Accuracy
+	fmt.Printf("trained MLP on synthetic clusters: float accuracy %.1f%%\n", 100*acc.Float)
+	fmt.Printf("8-bit quantised accuracy (integer reference): %.1f%%\n", 100*acc.Int)
+	fmt.Printf("analog accuracy at the design point (%d trials): %.1f%%\n",
+		acc.Trials, 100*acc.Analog)
 	fmt.Printf("cascade error sqrt(12)*eps = %.1f ps vs %.0f ps margin\n\n",
-		analog.CascadeErrorBound(params.MaxCascadedXSubBufs, params.DefaultXSubBufSigma),
-		params.TDelMargin)
+		acc.CascadeErrorPS, acc.MarginPS)
 
 	fmt.Println("noise sweep (per-X-subBuf error, 12-hop cascade):")
 	fmt.Println("  eps (ps)   accuracy   sqrt(12)*eps within 40 ps margin?")
 	for _, eps := range []float64{0, 10, 50, 100, 200, 400, 800} {
-		noise := &analog.Noise{
-			XSubBufSigma:    eps,
-			PSubBufRelSigma: params.DefaultPSubBufRelSigma,
-			ComparatorSigma: params.DefaultComparatorSigma,
-			RNG:             stats.NewRNG(99),
-		}
-		a, err := q.MapAnalog(core.Options{Noise: noise, InterfaceBits: 24,
-			InputHops: params.MaxCascadedXSubBufs})
+		b, err := sim.Open("functional",
+			sim.WithSeed(7), sim.WithTrials(3), sim.WithNoise(eps))
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc, err := a.Accuracy(test)
+		res, err := b.Evaluate(ctx, "mlp")
 		if err != nil {
 			log.Fatal(err)
 		}
 		within := "yes"
-		if analog.CascadeErrorBound(params.MaxCascadedXSubBufs, eps) > params.TDelMargin {
+		if res.Accuracy.CascadeErrorPS > res.Accuracy.MarginPS {
 			within = "no"
 		}
-		fmt.Printf("  %8.0f   %7.1f%%   %s\n", eps, 100*acc, within)
+		fmt.Printf("  %8.0f   %7.1f%%   %s\n", eps, 100*res.Accuracy.Analog, within)
 	}
 }

@@ -3,10 +3,13 @@
 // lowers it to sub-chip commands (weight mapping + input-path
 // configuration), and the controller loads the command stream onto
 // functional sub-chips and runs inference through the analog datapath —
-// classifying synthetic oriented-grating images with a CNN.
+// classifying synthetic oriented-grating images with a CNN. The same
+// workload recipe is then run through the public sim facade's functional
+// backend as a cross-check on the compiled program's accuracy.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +19,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/workload"
+	"repro/sim"
 )
 
 const netSrc = `
@@ -91,4 +95,16 @@ func main() {
 	}
 	fmt.Printf("analog inference via compiled program:      %.1f%% accuracy (%d images)\n",
 		100*float64(hits)/float64(test.Len()), test.Len())
+
+	// Cross-check: the sim facade's functional backend trains the identical
+	// recipe (same seed 5, memoized with the experiment suite) and maps it
+	// onto fault-free crossbars — the two execution paths must agree on the
+	// integer reference and land on comparable analog accuracy.
+	res, err := sim.Evaluate(context.Background(),
+		&sim.EvalRequest{Backend: "functional", Network: "cnn", Trials: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim facade functional backend (cnn):        int %.1f%%, analog %.1f%% (%d draws)\n",
+		100*res.Accuracy.Int, 100*res.Accuracy.Analog, res.Accuracy.Trials)
 }

@@ -1,53 +1,46 @@
 // design_space explores the two architecture trade-offs §V and §VI-D
-// discuss: the DTC/TDC sharing factor γ (throughput vs computational
-// density — more sharing shrinks the interface area but stretches the
-// pipeline cycle) and the sub-chip count χ (area scaling barely moves energy
-// and leaves throughput untouched per chip).
+// discuss, entirely through the public sim facade: the DTC/TDC sharing
+// factor γ (throughput vs computational density, via the Designer view)
+// and the sub-chip count χ (area scaling barely moves energy and leaves
+// per-chip throughput untouched, via WithSubChips evaluations).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/accel"
-	"repro/internal/area"
-	"repro/internal/model"
-	"repro/internal/params"
+	"repro/sim"
 )
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("gamma sweep: DTC/TDC sharing vs cycle time, area and peak density")
 	fmt.Println("  gamma  cycle(ns)  sub-chip mm^2  peak TOPS/sub-chip  TOPs/(s*mm^2)")
-	base := area.SubChipArea()
-	dtcArea := float64(params.DTCsPerSubChip) * params.AreaDTC
-	tdcArea := float64(params.TDCsPerSubChip) * params.AreaTDC
-	fixed := base - dtcArea - tdcArea
 	for _, gamma := range []int{1, 2, 4, 8, 16, 32} {
-		cfg := params.DefaultTimely(8)
-		cfg.Gamma = gamma
-		cycleNS := cfg.CycleTime() / 1000
-		// Interface area scales inversely with sharing.
-		a := fixed +
-			float64(cfg.GridRows*cfg.B/gamma)*params.AreaDTC +
-			float64(cfg.GridCols*cfg.B/gamma)*params.AreaTDC
-		tops := cfg.MACsPerSubChipCycle() / cfg.CycleTime() // MACs/ps = TOPS
-		density := tops * 1e12 / 1e12 / (a / 1e6)
+		b, err := sim.Open("timely", sim.WithGamma(gamma))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := b.(sim.Designer).Design()
 		fmt.Printf("  %5d  %9.0f  %13.2f  %18.2f  %13.2f\n",
-			gamma, cycleNS, a/1e6, tops, density)
+			d.Gamma, d.CycleNS, d.SubChipAreaMM2, d.PeakTOPSPerSubChip, d.DensityTOPsPerMM2)
 	}
 
 	fmt.Println("\nsub-chip scaling (§VI-D): chi sweep on VGG-D energy")
 	fmt.Println("  chi   chip mm^2   energy/inference   imgs/s (1 chip)")
-	vgg := model.VGG("D")
 	for _, chi := range []int{53, 106, 212} {
-		t := accel.NewTimely(8, 1)
-		t.Cfg.SubChips = chi
-		r, err := t.Evaluate(vgg)
+		b, err := sim.Open("timely", sim.WithSubChips(chi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := b.Evaluate(ctx, "VGG-D")
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %3d   %9.1f   %13.3f mJ   %12.0f\n",
-			chi, area.ChipArea(chi)/1e6, r.EnergyPerImageMJ(), r.ImagesPerSec)
+			chi, r.AreaMM2, r.EnergyMJPerImage, r.ImagesPerSec)
 	}
 	fmt.Println("\n(energy is nearly flat in chi; throughput scales with the extra")
 	fmt.Println(" duplication room, and per-sub-chip throughput is chi-independent)")

@@ -1,62 +1,75 @@
-// Quickstart: run one convolution through the functional TIMELY sub-chip —
-// DTC conversion, X-subBuf propagation, ReRAM crossbar dot products,
-// P-subBuf/I-adder aggregation, two-phase charging, TDC quantisation and
-// digital recombination — and compare against the exact integer reference.
+// Quickstart for the public sim facade: open the three analytic backends
+// through the registry, evaluate an ImageNet-scale network on each, run the
+// functional Monte-Carlo accuracy study, and show the JSON request/result
+// shapes the timelyd service speaks.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/energy"
-	"repro/internal/stats"
-	"repro/internal/tensor"
+	"repro/sim"
 )
 
 func main() {
-	rng := stats.NewRNG(42)
+	ctx := context.Background()
+	fmt.Println("registered backends:", sim.Backends())
 
-	// A small layer: 3x8x8 input, eight 3x3 filters, stride 1, pad 1.
-	in := tensor.NewInt(3, 8, 8)
-	for i := range in.Data {
-		in.Data[i] = int32(rng.Intn(256)) // 8-bit activation codes
-	}
-	filters := tensor.NewFilter(8, 3, 3, 3)
-	for i := range filters.Data {
-		filters.Data[i] = int32(rng.Intn(255)) - 127 // signed 8-bit weights
+	// One VGG-D inference on each analytic accelerator model.
+	fmt.Println("\nVGG-D, one chip:")
+	fmt.Println("  backend   energy/img      imgs/s    TOPs/W")
+	for _, name := range []string{"timely", "prime", "isaac"} {
+		b, err := sim.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := b.Evaluate(ctx, "VGG-D")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %8.3f mJ  %8.0f  %8.2f\n",
+			name, res.EnergyMJPerImage, res.ImagesPerSec, res.TOPsPerWatt)
 	}
 
-	// Execute on the analog pipeline (ideal interfaces: bit-exact mode).
-	ledger := energy.NewLedger(nil)
-	res, err := core.RunConv(core.IdealOptions(ledger), in, filters, 1, 1, false)
+	// TIMELY also exposes its physical design point.
+	t, err := sim.Open("timely")
 	if err != nil {
 		log.Fatal(err)
 	}
+	d := t.(sim.Designer).Design()
+	fmt.Printf("\nTIMELY design point: chi=%d sub-chips, gamma=%d, %.0f ns cycle, %.1f mm^2/chip\n",
+		d.SubChipsPerChip, d.Gamma, d.CycleNS, d.ChipAreaMM2)
 
-	// Compare with the integer reference.
-	want := tensor.Conv2D(in, filters, nil, 1, 1)
-	mismatches := 0
-	for i := range want.Data {
-		if res.Out.Data[i] != want.Data[i] {
-			mismatches++
-		}
+	// The functional backend runs the Monte-Carlo §VI-B accuracy study on
+	// the synthetic workload: noise-aware float training, 8-bit
+	// quantisation, execution through the analog datapath with injected
+	// circuit noise.
+	f, err := sim.Open("functional", sim.WithTrials(3))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("TIMELY quickstart\n")
-	fmt.Printf("  layer:        conv 3x8x8 -> 8@3x3 (s1 p1), output %v\n", res.Out.Shape)
-	fmt.Printf("  analog psums: %d values, %d mismatches vs integer reference\n",
-		len(res.Out.Data), mismatches)
-	fmt.Printf("  layer scale:  1 TDC LSB = 2^%d dot units\n", res.Mapped.ScaleShift)
+	res, err := f.Evaluate(ctx, "mlp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := res.Accuracy
+	fmt.Printf("\nfunctional mlp: float %.1f%%, int8 %.1f%%, analog %.1f%% (%d trials, loss %.2f pp)\n",
+		100*acc.Float, 100*acc.Int, 100*acc.Analog, acc.Trials, acc.LossPP)
 
-	fmt.Printf("\nO2IR operation counts (inputs read once each):\n")
-	for _, c := range []energy.Component{
-		energy.L1Read, energy.DTCConv, energy.XSubBufOp, energy.CrossbarOp,
-		energy.ChargingOp, energy.TDCConv, energy.IAdderOp, energy.L1Write,
-	} {
-		fmt.Printf("  %-10s %8.0f ops\n", c, ledger.Count(c))
+	// The same evaluation as one JSON request — the exact payload timelyd's
+	// POST /v1/evaluate accepts.
+	req := &sim.EvalRequest{Backend: "timely", Network: "ResNet-50", Chips: 16}
+	out, err := sim.Evaluate(ctx, req)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if mismatches != 0 {
-		os.Exit(1)
-	}
+	out.EnergyBreakdown, out.MovementByClass = nil, nil // keep the demo short
+	blob, _ := json.Marshal(req)
+	fmt.Printf("\nPOST /v1/evaluate %s ->\n", blob)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }

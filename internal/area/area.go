@@ -55,6 +55,41 @@ func SubChipArea() float64 {
 // (Table II: 0.86·χ mm²; 91 mm² at χ=106).
 func ChipArea(n int) float64 { return float64(n) * SubChipArea() }
 
+// DesignPoint is the physical sub-chip design at one configuration: cycle
+// time, interface-scaled area and peak compute. It is the single source of
+// the γ-trade-off arithmetic shared by the §V ablation and the public
+// sim.Designer view.
+type DesignPoint struct {
+	// CycleNS is the pipeline cycle in ns (γ × 25 ns).
+	CycleNS float64
+	// SubChipUM2 is the sub-chip area in µm² with the DTC/TDC banks
+	// resized to the sharing factor.
+	SubChipUM2 float64
+	// PeakTOPS is the per-sub-chip peak (1 op = 1 MAC).
+	PeakTOPS float64
+	// DensityTOPsMM2 is the resulting computational density.
+	DensityTOPsMM2 float64
+}
+
+// TimelyDesignPoint evaluates cfg's design point. The interface banks
+// scale inversely with cfg.Gamma (more sharing, fewer converters); the
+// rest of the sub-chip inventory is γ-independent.
+func TimelyDesignPoint(cfg params.TimelyConfig) DesignPoint {
+	fixed := SubChipArea() -
+		float64(params.DTCsPerSubChip)*params.AreaDTC -
+		float64(params.TDCsPerSubChip)*params.AreaTDC
+	a := fixed +
+		float64(cfg.GridRows*cfg.B/cfg.Gamma)*params.AreaDTC +
+		float64(cfg.GridCols*cfg.B/cfg.Gamma)*params.AreaTDC
+	tops := cfg.MACsPerSubChipCycle() / cfg.CycleTime() // MACs per ps = TOPS
+	return DesignPoint{
+		CycleNS:        cfg.CycleTime() / 1000,
+		SubChipUM2:     a,
+		PeakTOPS:       tops,
+		DensityTOPsMM2: tops / (a / 1e6),
+	}
+}
+
 // Share is one slice of an area breakdown.
 type Share struct {
 	Name     string

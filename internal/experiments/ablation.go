@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analog"
@@ -34,24 +35,17 @@ type GammaPoint struct {
 // (small γ) shortens the cycle but pays interface area; the Table II design
 // point is γ=8.
 func GammaSweep(gammas []int) []GammaPoint {
-	base := area.SubChipArea()
-	fixed := base -
-		float64(params.DTCsPerSubChip)*params.AreaDTC -
-		float64(params.TDCsPerSubChip)*params.AreaTDC
 	var pts []GammaPoint
 	for _, g := range gammas {
 		cfg := params.DefaultTimely(8)
 		cfg.Gamma = g
-		a := fixed +
-			float64(cfg.GridRows*cfg.B/g)*params.AreaDTC +
-			float64(cfg.GridCols*cfg.B/g)*params.AreaTDC
-		tops := cfg.MACsPerSubChipCycle() / cfg.CycleTime() // MACs per ps = TOPS
+		d := area.TimelyDesignPoint(cfg)
 		pts = append(pts, GammaPoint{
 			Gamma:          g,
-			CycleNS:        cfg.CycleTime() / 1000,
-			SubChipMM2:     a / 1e6,
-			PeakTOPS:       tops,
-			DensityTOPsMM2: tops / (a / 1e6),
+			CycleNS:        d.CycleNS,
+			SubChipMM2:     d.SubChipUM2 / 1e6,
+			PeakTOPS:       d.PeakTOPS,
+			DensityTOPsMM2: d.DensityTOPsMM2,
 		})
 	}
 	return pts
@@ -72,7 +66,7 @@ type DefectPoint struct {
 // resilience of CNNs/DNNs to counter hardware vulnerability"; no
 // defect-aware retraining or remapping is applied, so this is the
 // unprotected floor the rescue literature improves on).
-func DefectSweep(seed uint64, rates []float64) ([]DefectPoint, error) {
+func DefectSweep(ctx context.Context, seed uint64, rates []float64) ([]DefectPoint, error) {
 	tc, err := defectCNN(seed)
 	if err != nil {
 		return nil, err
@@ -87,7 +81,7 @@ func DefectSweep(seed uint64, rates []float64) ([]DefectPoint, error) {
 		faults int
 	}
 	units := make([]unit, len(rates)*draws)
-	err = parallelEach(len(units), func(i int) error {
+	err = parallelEach(ctx, len(units), func(i int) error {
 		rate, d := rates[i/draws], i%draws
 		a, err := cnn.MapAnalog(core.Options{
 			Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
@@ -119,6 +113,67 @@ func DefectSweep(seed uint64, rates []float64) ([]DefectPoint, error) {
 	return pts, nil
 }
 
+// DefectResult is one functional-CNN evaluation at a fixed stuck-at rate —
+// the form the public sim facade serves.
+type DefectResult struct {
+	// IntAcc is the 8-bit integer reference accuracy of the trained CNN;
+	// AnalogAcc the analog-datapath accuracy at the fault rate, averaged
+	// over Trials fault-map draws.
+	IntAcc, AnalogAcc float64
+	// Faults is the mean realised stuck-cell count per draw.
+	Faults int
+	// Trials is the fault-map draw count.
+	Trials int
+}
+
+// AnalogCNNAccuracy maps the synthetic-image CNN (memoized per seed, shared
+// with DefectSweep) onto faulty crossbars at one stuck-at rate and measures
+// the analog accuracy over trials independent fault-map draws. Draw d uses
+// the same RNG stream DefectSweep gives its d-th draw, so the facade and
+// the ablation experiment agree exactly at equal (seed, rate, draws).
+func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate float64) (*DefectResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
+	}
+	tc, err := defectCNN(seed)
+	if err != nil {
+		return nil, err
+	}
+	cnn, test := tc.cnn, tc.test
+	type unit struct {
+		acc    float64
+		faults int
+	}
+	units := make([]unit, trials)
+	err = parallelEach(ctx, trials, func(d int) error {
+		a, err := cnn.MapAnalog(core.Options{
+			Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
+			InterfaceBits: 24,
+		}, faultRate)
+		if err != nil {
+			return err
+		}
+		acc, err := a.Accuracy(test)
+		if err != nil {
+			return err
+		}
+		units[d] = unit{acc: acc, faults: a.Faults()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DefectResult{IntAcc: cnn.AccuracyInt(test), Trials: trials}
+	sum, faults := 0.0, 0
+	for _, u := range units {
+		sum += u.acc
+		faults += u.faults
+	}
+	res.AnalogAcc = sum / float64(trials)
+	res.Faults = faults / trials
+	return res, nil
+}
+
 // SchemePoint compares the signed-weight encodings.
 type SchemePoint struct {
 	Scheme string
@@ -143,14 +198,14 @@ func SchemeComparison() []SchemePoint {
 	}
 }
 
-func runAblation() ([]*report.Table, error) {
+func runAblation(ctx context.Context) ([]*report.Table, error) {
 	g := report.New("Ablation: DTC/TDC sharing factor gamma (Table II point: 8)",
 		"gamma", "cycle (ns)", "sub-chip mm^2", "peak TOPS/sub-chip", "TOPs/(s*mm^2)")
 	for _, p := range GammaSweep([]int{1, 2, 4, 8, 16, 32}) {
 		g.AddF(p.Gamma, p.CycleNS, fmt.Sprintf("%.2f", p.SubChipMM2),
 			fmt.Sprintf("%.2f", p.PeakTOPS), fmt.Sprintf("%.2f", p.DensityTOPsMM2))
 	}
-	pts, err := DefectSweep(5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30})
+	pts, err := DefectSweep(ctx, 5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analog"
@@ -35,8 +36,21 @@ type NoiseSweepPoint struct {
 
 // RunAccuracy trains the synthetic classifier (memoized per seed, shared
 // with RunNoiseSweep), quantises it to TIMELY's 8-bit datapath and measures
-// the analog accuracy at the design point.
-func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
+// the analog accuracy at the paper's design-point noise.
+func RunAccuracy(ctx context.Context, seed uint64, trials int) (*AccuracyResult, error) {
+	return AnalogMLPAccuracy(ctx, seed, trials, params.DefaultXSubBufSigma)
+}
+
+// AnalogMLPAccuracy is the generalized §VI-B accuracy study behind the
+// public sim facade: the design-point methodology of RunAccuracy at an
+// arbitrary per-X-subBuf error epsPS (in ps). Each Monte-Carlo trial draws
+// its noise RNG from the trial index, so results are deterministic per
+// (seed, trials, epsPS) at any worker count; at the design-point epsilon it
+// is byte-for-byte RunAccuracy.
+func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float64) (*AccuracyResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
+	}
 	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
@@ -45,16 +59,18 @@ func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
 	res := &AccuracyResult{
 		FloatAcc:       m.Accuracy(test),
 		IntAcc:         q.AccuracyInt(test),
-		CascadeErrorPS: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, params.DefaultXSubBufSigma),
+		CascadeErrorPS: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, epsPS),
 		MarginPS:       params.TDelMargin,
 		Trials:         trials,
 	}
 	// Monte-Carlo trials are independent (per-trial noise RNG); run them on
 	// the worker budget and reduce in trial order.
 	accs := make([]float64, trials)
-	err = parallelEach(trials, func(trial int) error {
+	err = parallelEach(ctx, trials, func(trial int) error {
+		noise := analog.DefaultNoise(seed + uint64(trial)*7919)
+		noise.XSubBufSigma = epsPS
 		a, err := q.MapAnalog(core.Options{
-			Noise:         analog.DefaultNoise(seed + uint64(trial)*7919),
+			Noise:         noise,
 			InterfaceBits: 24,
 			InputHops:     params.MaxCascadedXSubBufs, // worst-case cascade (§V)
 		})
@@ -83,7 +99,7 @@ func RunAccuracy(seed uint64, trials int) (*AccuracyResult, error) {
 // RunNoiseSweep sweeps the X-subBuf error ε and reports analog accuracy —
 // the ablation behind the paper's choice of ε, cascade limit and margin.
 // The classifier is memoized per seed, shared with RunAccuracy.
-func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
+func RunNoiseSweep(ctx context.Context, seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
 	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
@@ -92,7 +108,7 @@ func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
 	// Each ε point owns its noise RNG, so the sweep runs on the worker
 	// budget with results slotted by index.
 	pts := make([]NoiseSweepPoint, len(epsilons))
-	err = parallelEach(len(epsilons), func(i int) error {
+	err = parallelEach(ctx, len(epsilons), func(i int) error {
 		eps := epsilons[i]
 		noise := &analog.Noise{
 			XSubBufSigma:    eps,
@@ -122,8 +138,8 @@ func RunNoiseSweep(seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
 	return pts, nil
 }
 
-func runAccuracy() ([]*report.Table, error) {
-	res, err := RunAccuracy(2020, 5)
+func runAccuracy(ctx context.Context) ([]*report.Table, error) {
+	res, err := RunAccuracy(ctx, 2020, 5)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +150,7 @@ func runAccuracy() ([]*report.Table, error) {
 	t.Add(fmt.Sprintf("analog accuracy (design point, %d trials)", res.Trials), report.Pct(res.AnalogAcc))
 	t.Add("accuracy loss", fmt.Sprintf("%.2f pp (paper: <=0.1%% on CNNs)", res.Loss*100))
 	t.Add("cascade error sqrt(12)*eps", fmt.Sprintf("%.1f ps (margin %.0f ps)", res.CascadeErrorPS, res.MarginPS))
-	pts, err := RunNoiseSweep(2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800})
+	pts, err := RunNoiseSweep(ctx, 2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800})
 	if err != nil {
 		return nil, err
 	}

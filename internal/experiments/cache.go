@@ -96,6 +96,25 @@ func benchmarks() []*model.Network {
 	return out
 }
 
+// Eval returns the memoized analytic evaluation of one Table III benchmark
+// on one backend — "timely", "prime" or "isaac" — at the given deployment.
+// It is the entry point the public sim facade shares with the experiment
+// suite, so a service evaluating the same (backend, deployment, network)
+// as a running experiment computes it exactly once. bits selects TIMELY's
+// operand precision and is ignored by the fixed-precision baselines
+// (PRIME is 8-bit, ISAAC 16-bit by design).
+func Eval(backend string, bits, chips int, network string) (*accel.Result, error) {
+	switch backend {
+	case "timely":
+		return evalTimely(bits, chips, network)
+	case "prime":
+		return evalPrime(chips, network)
+	case "isaac":
+		return evalIsaac(chips, network)
+	}
+	return nil, fmt.Errorf("experiments: unknown analytic backend %q", backend)
+}
+
 // evalTimely returns the memoized TIMELY evaluation of one benchmark.
 func evalTimely(bits, chips int, name string) (*accel.Result, error) {
 	key := fmt.Sprintf("timely/%d/%d/%s", bits, chips, name)

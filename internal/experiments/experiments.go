@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -26,12 +27,15 @@ type Experiment struct {
 	// Description summarises what it shows.
 	Description string
 	// Run computes the experiment and returns its tables, one per panel.
-	Run func() ([]*report.Table, error)
+	// It honours ctx: cancellation is checked between work units (benchmark
+	// evaluations, Monte-Carlo trials, sweep points), so an in-flight run
+	// aborts promptly with ctx.Err().
+	Run func(ctx context.Context) ([]*report.Table, error)
 }
 
 // Render runs the experiment and writes its tables as aligned text.
-func (e Experiment) Render(w io.Writer) error {
-	tables, err := e.Run()
+func (e Experiment) Render(ctx context.Context, w io.Writer) error {
+	tables, err := e.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -51,6 +55,25 @@ func register(e Experiment) { registry = append(registry, e) }
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IndexEntry is one row of the machine-readable experiment index — the
+// shape `timely list -format json` and timelyd's GET /v1/experiments both
+// serve.
+type IndexEntry struct {
+	ID          string `json:"id"`
+	Paper       string `json:"paper"`
+	Description string `json:"description"`
+}
+
+// Index returns the registered experiments' index rows in ID order.
+func Index() []IndexEntry {
+	all := All()
+	out := make([]IndexEntry, len(all))
+	for i, e := range all {
+		out[i] = IndexEntry{ID: e.ID, Paper: e.Paper, Description: e.Description}
+	}
 	return out
 }
 
@@ -87,12 +110,22 @@ func (r Result) Document() *report.Document {
 	}
 }
 
-// Run executes the given experiments on par worker goroutines and returns
-// one Result per experiment, in input order regardless of completion order.
-// par < 1 means one worker. Shared heavy inputs (benchmark networks,
-// baseline evaluations, trained classifiers) are computed once and reused
-// across experiments via the package caches.
-func Run(exps []Experiment, par int) []Result {
+// Options configures a Run.
+type Options struct {
+	// Par is the worker-goroutine count; values < 1 run one worker.
+	Par int
+}
+
+// Run executes the given experiments on opts.Par worker goroutines and
+// returns one Result per experiment, in input order regardless of completion
+// order. Shared heavy inputs (benchmark networks, baseline evaluations,
+// trained classifiers) are computed once and reused across experiments via
+// the package caches. Cancelling ctx aborts promptly: experiments not yet
+// started, and work units not yet executed inside a started experiment,
+// are skipped and their Results carry ctx's error. A ctx that is never
+// cancelled does not change a single output byte at any worker count.
+func Run(ctx context.Context, exps []Experiment, opts Options) []Result {
+	par := opts.Par
 	if par < 1 {
 		par = 1
 	}
@@ -113,8 +146,12 @@ func Run(exps []Experiment, par int) []Result {
 			defer wg.Done()
 			for i := range jobs {
 				e := exps[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Experiment: e, Err: err}
+					continue
+				}
 				start := time.Now()
-				tables, err := e.Run()
+				tables, err := e.Run(ctx)
 				results[i] = Result{
 					Experiment: e,
 					Tables:     tables,
@@ -191,7 +228,7 @@ func WriteJSON(w io.Writer, results []Result) error {
 
 // RunAll renders every registered experiment in ID order on one worker —
 // the classic serial harness entry point. cmd/timely uses Run directly to
-// control parallelism.
+// control parallelism and cancellation.
 func RunAll(w io.Writer) error {
-	return WriteText(w, Run(All(), 1))
+	return WriteText(w, Run(context.Background(), All(), Options{Par: 1}))
 }

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,7 +41,7 @@ func TestAllExperimentsRender(t *testing.T) {
 	}
 	for _, e := range All() {
 		var buf bytes.Buffer
-		if err := e.Render(&buf); err != nil {
+		if err := e.Render(context.Background(), &buf); err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 			continue
 		}
@@ -157,7 +159,7 @@ func TestFig8aGeomeans(t *testing.T) {
 	if testing.Short() {
 		t.Skip("evaluates 15 networks x 4 accelerators")
 	}
-	rows, geo, err := Fig8a()
+	rows, geo, err := Fig8a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestFig8aGeomeans(t *testing.T) {
 }
 
 func TestFig9Reductions(t *testing.T) {
-	f, err := RunFig9()
+	f, err := RunFig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +240,7 @@ func TestFig10Shares(t *testing.T) {
 }
 
 func TestFig11Reduction(t *testing.T) {
-	r, err := RunFig11()
+	r, err := RunFig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestAccuracyDesignPoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a classifier")
 	}
-	res, err := RunAccuracy(2020, 3)
+	res, err := RunAccuracy(context.Background(), 2020, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +272,7 @@ func TestNoiseSweepMonotoneTail(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a classifier")
 	}
-	pts, err := RunNoiseSweep(2020, []float64{10, 800})
+	pts, err := RunNoiseSweep(context.Background(), 2020, []float64{10, 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +316,7 @@ func TestDefectSweepDeclines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a CNN")
 	}
-	pts, err := DefectSweep(5, []float64{0, 0.30})
+	pts, err := DefectSweep(context.Background(), 5, []float64{0, 0.30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +373,7 @@ func TestRunPreservesOrderAndCapturesErrors(t *testing.T) {
 	mk := func(id string, err error) Experiment {
 		return Experiment{
 			ID: id, Paper: id, Description: id,
-			Run: func() ([]*report.Table, error) {
+			Run: func(context.Context) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
@@ -380,7 +382,7 @@ func TestRunPreservesOrderAndCapturesErrors(t *testing.T) {
 		}
 	}
 	exps := []Experiment{mk("a", nil), mk("b", boom), mk("c", nil)}
-	results := Run(exps, 3)
+	results := Run(context.Background(), exps, Options{Par: 3})
 	if len(results) != 3 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -448,7 +450,7 @@ func TestResultDocument(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := Run([]Experiment{e}, 1)
+	results := Run(context.Background(), []Experiment{e}, Options{Par: 1})
 	doc := results[0].Document()
 	if doc.ID != "table5" || doc.Title != "Table V" || len(doc.Tables) != 1 {
 		t.Errorf("document = %+v", doc)
@@ -476,5 +478,67 @@ func TestRunAllProducesEverySection(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
+	}
+}
+
+func TestRunSkipsExperimentsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	cancelling := Experiment{
+		ID: "x", Paper: "x", Description: "cancels mid-run",
+		Run: func(context.Context) ([]*report.Table, error) {
+			ran++
+			cancel()
+			return []*report.Table{report.New("x", "h").Add("v")}, nil
+		},
+	}
+	never := Experiment{
+		ID: "y", Paper: "y", Description: "queued behind the cancel",
+		Run: func(context.Context) ([]*report.Table, error) {
+			ran++
+			return nil, nil
+		},
+	}
+	// Par 1: the worker takes jobs in order, so y is dequeued only after x
+	// has cancelled the context and must be skipped.
+	results := Run(ctx, []Experiment{cancelling, never}, Options{Par: 1})
+	if ran != 1 {
+		t.Errorf("ran %d experiments, want 1 (y must be skipped)", ran)
+	}
+	if results[0].Err != nil {
+		t.Errorf("x err = %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("y err = %v, want context.Canceled", results[1].Err)
+	}
+
+	// A context cancelled before Run starts skips everything.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	for _, r := range Run(pre, []Experiment{cancelling, never}, Options{Par: 2}) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s err = %v, want context.Canceled", r.Experiment.ID, r.Err)
+		}
+	}
+}
+
+func TestParallelEachStopsAtCancel(t *testing.T) {
+	// Force the serial path so the unit order is deterministic: unit 0
+	// cancels, so exactly one unit may run.
+	setInnerPar(1)
+	defer setInnerPar(runtime.GOMAXPROCS(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	err := parallelEach(ctx, 5, func(i int) error {
+		ran++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran %d units after cancellation, want 1", ran)
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/accel"
 	"repro/internal/params"
 	"repro/internal/report"
@@ -17,7 +19,10 @@ type Fig11Result struct {
 // RunFig11 applies TIMELY's ALB and O2IR principles inside PRIME's FF
 // subarrays (Fig. 11(a)) and measures the intra-bank data-movement energy
 // reduction on VGG-D (Fig. 11(b)).
-func RunFig11() (Fig11Result, error) {
+func RunFig11(ctx context.Context) (Fig11Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig11Result{}, err
+	}
 	vgg, err := network("VGG-D")
 	if err != nil {
 		return Fig11Result{}, err
@@ -38,8 +43,8 @@ func RunFig11() (Fig11Result, error) {
 	return r, nil
 }
 
-func runFig11() ([]*report.Table, error) {
-	r, err := RunFig11()
+func runFig11(ctx context.Context) ([]*report.Table, error) {
+	r, err := RunFig11(ctx)
 	if err != nil {
 		return nil, err
 	}

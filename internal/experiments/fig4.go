@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/accel"
 	"repro/internal/energy"
 	"repro/internal/report"
@@ -94,7 +95,7 @@ func Fig4c() (Fig4Breakdown, error) {
 	}, nil
 }
 
-func runFig4() ([]*report.Table, error) {
+func runFig4(context.Context) ([]*report.Table, error) {
 	ta := report.New("Fig. 4(a): # of CONV-layer accesses under PRIME-style execution",
 		"network", "inputs", "psum accesses")
 	for _, a := range Fig4a() {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/params"
 	"repro/internal/report"
 )
@@ -65,7 +66,7 @@ func Fig5d() []Share {
 	}
 }
 
-func runFig5() ([]*report.Table, error) {
+func runFig5(context.Context) ([]*report.Table, error) {
 	t := report.New("Fig. 5(c): per-datum energy, existing R2PIM vs TIMELY",
 		"quantity", "existing (fJ)", "TIMELY (fJ)", "reduction")
 	for _, r := range Fig5c() {

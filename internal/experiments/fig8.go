@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accel"
@@ -17,11 +18,15 @@ type Fig8aRow struct {
 }
 
 // Fig8a evaluates the full Table III suite and appends the geometric means
-// the paper reports (10.0× over PRIME, 14.8× over ISAAC).
-func Fig8a() ([]Fig8aRow, Fig8aRow, error) {
+// the paper reports (10.0× over PRIME, 14.8× over ISAAC). Cancellation is
+// checked between benchmarks.
+func Fig8a(ctx context.Context) ([]Fig8aRow, Fig8aRow, error) {
 	var rows []Fig8aRow
 	var primes, isaacs []float64
 	for _, n := range benchmarks() {
+		if err := ctx.Err(); err != nil {
+			return nil, Fig8aRow{}, err
+		}
 		t8, err := evalTimely(8, 1, n.Name)
 		if err != nil {
 			return nil, Fig8aRow{}, fmt.Errorf("timely-8 %s: %w", n.Name, err)
@@ -75,9 +80,12 @@ func fig8bNetworks() []string {
 // The PRIME panel pits TIMELY-8 with uniform network duplication against
 // PRIME's serial execution; the ISAAC panel gives TIMELY-16 ISAAC's own
 // balanced duplication ratios, per the paper's methodology (§VI-B).
-func Fig8b() ([]Fig8bRow, error) {
+func Fig8b(ctx context.Context) ([]Fig8bRow, error) {
 	var rows []Fig8bRow
 	for _, name := range fig8bNetworks() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n, err := network(name)
 		if err != nil {
 			return nil, err
@@ -114,8 +122,8 @@ func Fig8b() ([]Fig8bRow, error) {
 	return rows, nil
 }
 
-func runFig8a() ([]*report.Table, error) {
-	rows, geo, err := Fig8a()
+func runFig8a(ctx context.Context) ([]*report.Table, error) {
+	rows, geo, err := Fig8a(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -128,8 +136,8 @@ func runFig8a() ([]*report.Table, error) {
 	return []*report.Table{t}, nil
 }
 
-func runFig8b() ([]*report.Table, error) {
-	rows, err := Fig8b()
+func runFig8b(ctx context.Context) ([]*report.Table, error) {
+	rows, err := Fig8b(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/energy"
 	"repro/internal/params"
 	"repro/internal/report"
@@ -24,7 +26,10 @@ type Fig9 struct {
 }
 
 // RunFig9 evaluates both accelerators on VGG-D and derives every panel.
-func RunFig9() (*Fig9, error) {
+func RunFig9(ctx context.Context) (*Fig9, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pr, err := evalPrime(1, "VGG-D")
 	if err != nil {
 		return nil, err
@@ -63,8 +68,8 @@ func RunFig9() (*Fig9, error) {
 	return f, nil
 }
 
-func runFig9() ([]*report.Table, error) {
-	f, err := RunFig9()
+func runFig9(ctx context.Context) ([]*report.Table, error) {
+	f, err := RunFig9(ctx)
 	if err != nil {
 		return nil, err
 	}

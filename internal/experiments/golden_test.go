@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,7 +33,7 @@ func TestAccuracyAblationGolden(t *testing.T) {
 		exps = append(exps, e)
 	}
 	var got bytes.Buffer
-	if err := WriteText(&got, Run(exps, 1)); err != nil {
+	if err := WriteText(&got, Run(context.Background(), exps, Options{Par: 1})); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want) {

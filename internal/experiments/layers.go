@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/accel"
 	"repro/internal/energy"
 	"repro/internal/report"
@@ -44,7 +45,7 @@ func LayerProfile(name string) ([]LayerRow, error) {
 	return rows, nil
 }
 
-func runLayers() ([]*report.Table, error) {
+func runLayers(context.Context) ([]*report.Table, error) {
 	rows, err := LayerProfile("VGG-D")
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,14 @@ func setInnerPar(n int) {
 	if n < 1 {
 		n = 1
 	}
+	// Same effective size: keep the live pool. Run is no longer a
+	// once-per-process entry point (timelyd calls it per request), and
+	// replacing the pool would hand each overlapping Run its own token
+	// budget — sharing the instance is what bounds the aggregate inner
+	// concurrency at one pool size however many Runs overlap.
+	if cur := innerPool.Load(); cur != nil && cur.size == n {
+		return
+	}
 	p := &tokenPool{size: n}
 	if n > 1 {
 		p.tokens = make(chan struct{}, n)
@@ -42,8 +51,10 @@ func setInnerPar(n int) {
 // pool and returns the lowest-index error. Every unit owns its index's slot
 // of whatever slice the caller writes into, and units derive their RNG
 // streams from their index, so the results are identical at any worker
-// count.
-func parallelEach(n int, f func(i int) error) error {
+// count. Cancellation is checked before each unit: once ctx is done, no
+// further units start and ctx's error is returned (it wins over any unit
+// error at a higher index, matching serial early-exit behaviour).
+func parallelEach(ctx context.Context, n int, f func(i int) error) error {
 	pool := innerPool.Load()
 	par := pool.size
 	if par > n {
@@ -51,6 +62,9 @@ func parallelEach(n int, f func(i int) error) error {
 	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -65,6 +79,10 @@ func parallelEach(n int, f func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				pool.tokens <- struct{}{}
 				errs[i] = f(i)
 				<-pool.tokens

@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/report"
+import (
+	"context"
+
+	"repro/internal/report"
+)
 
 // Table5Row is one CONV layer's L1 input-read comparison (Table V).
 type Table5Row struct {
@@ -33,7 +37,7 @@ func Table5() []Table5Row {
 	return rows
 }
 
-func runTable5() ([]*report.Table, error) {
+func runTable5(context.Context) ([]*report.Table, error) {
 	t := report.New("Table V: L1 input reads, VGG-D CONV1-6",
 		"layer", "PRIME", "TIMELY", "saved by")
 	for _, r := range Table5() {

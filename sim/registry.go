@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a Backend from a resolved configuration. It must
+// validate the configuration — including rejecting options that do not
+// apply to it — and return a Backend safe for concurrent use.
+type Factory func(cfg *Config) (Backend, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a backend factory under a unique name. The built-in
+// backends self-register at init; external packages may add their own.
+// Registering an empty name, a nil factory, or a taken name is an error.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty backend name", ErrInvalidOption)
+	}
+	if f == nil {
+		return fmt.Errorf("%w: nil factory for backend %q", ErrInvalidOption, name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateBackend, name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// mustRegister backs the built-in init registrations.
+func mustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open constructs the named backend with the given options applied over
+// the defaults (Table II design point, one chip, design-point noise, five
+// Monte-Carlo trials). It fails with ErrUnknownBackend for unregistered
+// names and ErrInvalidOption for out-of-range or inapplicable options.
+func Open(name string, opts ...Option) (Backend, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownBackend, name, Backends())
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return f(&cfg)
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegisterErrorPaths(t *testing.T) {
+	nop := func(*Config) (Backend, error) { return nil, nil }
+	if err := Register("timely", nop); !errors.Is(err, ErrDuplicateBackend) {
+		t.Errorf("duplicate register err = %v, want ErrDuplicateBackend", err)
+	}
+	if err := Register("", nop); err == nil {
+		t.Errorf("empty-name register accepted")
+	}
+	if err := Register("nilfactory", nil); err == nil {
+		t.Errorf("nil factory accepted")
+	}
+	// A fresh name registers once, then collides with itself.
+	if err := Register("sim-test-backend", nop); err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	if err := Register("sim-test-backend", nop); !errors.Is(err, ErrDuplicateBackend) {
+		t.Errorf("second register err = %v, want ErrDuplicateBackend", err)
+	}
+}
+
+func TestBackendsListsBuiltins(t *testing.T) {
+	names := Backends()
+	idx := map[string]bool{}
+	for _, n := range names {
+		idx[n] = true
+	}
+	for _, want := range []string{"functional", "isaac", "prime", "timely"} {
+		if !idx[want] {
+			t.Errorf("Backends() = %v, missing %q", names, want)
+		}
+	}
+}
+
+func TestOpenUnknownBackend(t *testing.T) {
+	if _, err := Open("resistive-unicorn"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestOptionRangeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"bits 7", WithBits(7)},
+		{"bits 0", WithBits(0)},
+		{"chips 0", WithChips(0)},
+		{"subchips -1", WithSubChips(-1)},
+		{"gamma 0", WithGamma(0)},
+		{"noise -1", WithNoise(-1)},
+		{"fault 1.5", WithFaultRate(1.5)},
+		{"fault -0.1", WithFaultRate(-0.1)},
+		{"trials 0", WithTrials(0)},
+	}
+	for _, tc := range cases {
+		if _, err := Open("timely", tc.opt); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", tc.name, err)
+		}
+	}
+}
+
+func TestInapplicableOptionCombinations(t *testing.T) {
+	cases := []struct {
+		backend string
+		opt     Option
+	}{
+		{"timely", WithNoise(10)},
+		{"timely", WithFaultRate(0.1)},
+		{"timely", WithSeed(1)},
+		{"timely", WithTrials(3)},
+		{"prime", WithBits(16)},
+		{"prime", WithGamma(4)},
+		{"isaac", WithSubChips(10)},
+		{"isaac", WithNoise(10)},
+		{"functional", WithBits(8)},
+		{"functional", WithChips(2)},
+		{"functional", WithSubChips(10)},
+		{"functional", WithGamma(4)},
+	}
+	for _, tc := range cases {
+		if _, err := Open(tc.backend, tc.opt); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", tc.backend, err)
+		}
+	}
+	// Workload-specific rejections surface at Evaluate.
+	ctx := context.Background()
+	b, err := Open("functional", WithFaultRate(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Evaluate(ctx, "mlp"); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("mlp with fault rate: err = %v, want ErrInvalidOption", err)
+	}
+	b, err = Open("functional", WithNoise(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Evaluate(ctx, "cnn"); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("cnn with noise: err = %v, want ErrInvalidOption", err)
+	}
+}
+
+func TestAnalyticEvaluate(t *testing.T) {
+	for _, name := range []string{"timely", "prime", "isaac"} {
+		b, err := Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name {
+			t.Errorf("Name() = %q", b.Name())
+		}
+		if nets := b.Networks(); len(nets) != 15 {
+			t.Errorf("%s: Networks() has %d entries, want the 15-network suite", name, len(nets))
+		}
+		res, err := b.Evaluate(context.Background(), "VGG-D")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Backend != name || res.Network != "VGG-D" || res.Chips != 1 {
+			t.Errorf("%s: result header = %+v", name, res)
+		}
+		if res.EnergyMJPerImage <= 0 || res.ImagesPerSec <= 0 || res.TOPsPerWatt <= 0 {
+			t.Errorf("%s: non-positive metrics: %+v", name, res)
+		}
+		if res.Fits == nil {
+			t.Errorf("%s: Fits not reported", name)
+		}
+		if len(res.EnergyBreakdown) == 0 || len(res.MovementByClass) != 3 {
+			t.Errorf("%s: breakdown missing (%d components, %d classes)",
+				name, len(res.EnergyBreakdown), len(res.MovementByClass))
+		}
+		if name == "timely" && res.AreaMM2 <= 0 {
+			t.Errorf("timely: AreaMM2 = %v", res.AreaMM2)
+		}
+		if _, err := b.Evaluate(context.Background(), "NOPE-9"); !errors.Is(err, ErrUnknownNetwork) {
+			t.Errorf("%s: unknown network err = %v", name, err)
+		}
+	}
+}
+
+func TestTimelyDesignerAndOverrides(t *testing.T) {
+	b, err := Open("timely", WithGamma(4), WithSubChips(106), WithChips(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.(Designer)
+	if !ok {
+		t.Fatal("timely backend does not implement Designer")
+	}
+	des := d.Design()
+	if des.Gamma != 4 || des.SubChipsPerChip != 106 {
+		t.Errorf("design = %+v, want gamma 4, chi 106", des)
+	}
+	if des.CycleNS != 100 { // 4 × 25 ns
+		t.Errorf("CycleNS = %v, want 100", des.CycleNS)
+	}
+	if des.SubChipAreaMM2 <= 0 || des.PeakTOPSPerSubChip <= 0 || des.DensityTOPsPerMM2 <= 0 {
+		t.Errorf("non-positive design point: %+v", des)
+	}
+	// Baselines expose no parameterised design.
+	p, err := Open("prime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(Designer); ok {
+		t.Error("prime backend unexpectedly implements Designer")
+	}
+	// χ override flows into the evaluation (more sub-chips, more area).
+	small, err := Open("timely", WithSubChips(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := small.Evaluate(context.Background(), "VGG-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Evaluate(context.Background(), "VGG-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.AreaMM2 <= rs.AreaMM2 {
+		t.Errorf("area did not grow with chi and chips: %v vs %v", rb.AreaMM2, rs.AreaMM2)
+	}
+}
+
+func TestEvaluateRequestRoundTrip(t *testing.T) {
+	raw := `{"backend":"timely","network":"CNN-1","bits":16,"chips":16}`
+	var req EvalRequest
+	if err := json.Unmarshal([]byte(raw), &req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chips != 16 {
+		t.Errorf("Chips = %d, want 16", res.Chips)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"backend":"timely"`, `"network":"CNN-1"`, `"energy_mj_per_image"`, `"elapsed_ms"`} {
+		if !strings.Contains(string(blob), key) {
+			t.Errorf("marshalled result missing %s: %s", key, blob)
+		}
+	}
+	// Requests without backend/network fail with the typed errors.
+	if _, err := Evaluate(context.Background(), &EvalRequest{Network: "VGG-D"}); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("missing backend err = %v", err)
+	}
+	if _, err := Evaluate(context.Background(), &EvalRequest{Backend: "timely"}); !errors.Is(err, ErrUnknownNetwork) {
+		t.Errorf("missing network err = %v", err)
+	}
+}
+
+func TestEvaluateHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"timely", "functional"} {
+		b, err := Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := "VGG-D"
+		if name == "functional" {
+			net = "mlp"
+		}
+		if _, err := b.Evaluate(ctx, net); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestFunctionalEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the synthetic classifiers")
+	}
+	ctx := context.Background()
+	b, err := Open("functional", WithTrials(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Networks(); len(got) != 2 || got[0] != "cnn" || got[1] != "mlp" {
+		t.Errorf("Networks() = %v", got)
+	}
+	mlp, err := b.Evaluate(ctx, "mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := mlp.Accuracy
+	if acc == nil || acc.Analog <= 0.5 || acc.Int <= 0.5 || acc.Float <= 0.5 {
+		t.Fatalf("implausible mlp accuracy: %+v", acc)
+	}
+	if acc.Trials != 2 || acc.MarginPS <= 0 {
+		t.Errorf("mlp stats = %+v", acc)
+	}
+	// Determinism: same config, same result.
+	again, err := b.Evaluate(ctx, "mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again.Accuracy != *acc {
+		t.Errorf("repeat evaluation differs: %+v vs %+v", again.Accuracy, acc)
+	}
+
+	cnnB, err := Open("functional", WithTrials(2), WithFaultRate(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn, err := cnnB.Evaluate(ctx, "cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnn.Accuracy == nil || cnn.Accuracy.Analog <= 0.3 || cnn.Accuracy.Faults <= 0 {
+		t.Errorf("implausible cnn result: %+v", cnn.Accuracy)
+	}
+	if _, err := cnnB.Evaluate(ctx, "transformer"); !errors.Is(err, ErrUnknownNetwork) {
+		t.Errorf("unknown workload err = %v", err)
+	}
+}
