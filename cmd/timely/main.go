@@ -6,6 +6,12 @@
 //	timely list [flags]             enumerate the available experiments
 //	timely all [flags]              run every experiment
 //	timely <id> [...] [flags]       run specific experiments (fig4, table5, ...)
+//	timely evaluate [flags]         evaluate one network on one backend
+//
+// evaluate runs a single network — a Table III benchmark by name or a
+// custom declarative spec from a JSON file (-network @spec.json) — on any
+// sim backend and prints the energy/throughput/area (or accuracy) result
+// as text or JSON. See "timely evaluate -h" for its flag surface.
 //
 // Flags (before, between or after the experiment names):
 //
@@ -65,6 +71,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			usage(stdout)
 			return nil
 		}
+	}
+
+	// The evaluate subcommand has its own flag surface (network/backend
+	// selection rather than experiment harness control), so it is routed
+	// before the interleaved experiment-flag parsing below.
+	if len(args) > 0 && args[0] == "evaluate" {
+		return runEvaluate(args[1:], stdout, stderr)
 	}
 
 	fs := flag.NewFlagSet("timely", flag.ContinueOnError)
@@ -231,7 +244,7 @@ type Result = experiments.Result
 // errors are joined and returned after all successes are written.
 func writeDir(dir, format string, results []Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return fmt.Errorf("creating -out directory %q: %w", dir, err)
 	}
 	ext := map[string]string{"text": "txt", "csv": "csv", "json": "json"}[format]
 	var errs []error
@@ -275,6 +288,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  timely list [flags]        enumerate experiments (text or json)")
 	fmt.Fprintln(w, "  timely all [flags]         run every experiment")
 	fmt.Fprintln(w, "  timely <id> [...] [flags]  run specific experiments")
+	fmt.Fprintln(w, "  timely evaluate -network <name|@spec.json> [flags]")
+	fmt.Fprintln(w, "                             evaluate one network (zoo or custom spec)")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "flags:")
 	fmt.Fprintln(w, "  -format text|csv|json  output format (default text)")

@@ -5,8 +5,16 @@
 //
 //	GET  /healthz               liveness, backend and experiment inventory
 //	POST /v1/evaluate           run one sim.EvalRequest, returns sim.EvalResult
+//	POST /v1/networks           validate + register a custom network spec
+//	GET  /v1/networks           list zoo and registered custom networks
 //	GET  /v1/experiments        the experiment index
 //	GET  /v1/experiments/{id}   regenerate one paper artifact
+//
+// /v1/evaluate accepts either a network name — a Table III benchmark or a
+// previously registered custom network — or an inline declarative spec
+// under "spec" (sim.NetworkSpec: name, input dims, conv/fc/pool layers),
+// which is compiled, validated and evaluated in one call. POST bodies must
+// be application/json (415 otherwise) and at most 1 MiB (413 otherwise).
 //
 // The experiment endpoints negotiate their representation: JSON for
 // Accept: application/json, CSV for Accept: text/csv, aligned text

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"mime"
 	"net/http"
 	"strings"
 	"time"
@@ -41,10 +41,15 @@ func newServer(par int, timeout time.Duration) *server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworkIndex)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	return s
 }
+
+// maxRequestBody bounds every POST body; larger requests get 413.
+const maxRequestBody = 1 << 20
 
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -72,8 +77,13 @@ func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, sim.ErrUnknownBackend),
 		errors.Is(err, sim.ErrUnknownNetwork),
-		errors.Is(err, sim.ErrInvalidOption):
+		errors.Is(err, sim.ErrInvalidOption),
+		errors.Is(err, sim.ErrInvalidSpec):
 		return http.StatusBadRequest
+	case errors.Is(err, sim.ErrDuplicateNetwork):
+		return http.StatusConflict
+	case errors.Is(err, sim.ErrRegistryFull):
+		return http.StatusInsufficientStorage
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -133,14 +143,39 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleEvaluate decodes one sim.EvalRequest and runs it through the
+// decodeJSON enforces the POST body contract shared by every mutation
+// endpoint: a JSON media type (415 otherwise), a body bounded by
+// maxRequestBody (413 when exceeded), and strict field checking (400 on
+// unknown fields or malformed JSON). It writes the error response itself
+// and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("content type %q is not supported; send application/json", ct))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// handleEvaluate decodes one sim.EvalRequest — naming a zoo or registered
+// network, or carrying an inline network spec — and runs it through the
 // public facade under the request context.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
-	dec.DisallowUnknownFields()
 	var req sim.EvalRequest
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -151,6 +186,33 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, res)
+}
+
+// handleRegisterNetwork validates the posted network spec and registers it
+// process-wide, so later /v1/evaluate requests can reference it by name.
+// The response summarises the compiled network (layer count, MACs, params)
+// and its canonical spec hash. Registration is idempotent for an identical
+// spec; a name conflict is 409, an invalid spec 400.
+func (s *server) handleRegisterNetwork(w http.ResponseWriter, r *http.Request) {
+	var spec sim.NetworkSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	info, err := sim.RegisterNetwork(&spec)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+// handleNetworkIndex lists the evaluable networks: the built-in Table III
+// zoo and every registered custom network.
+func (s *server) handleNetworkIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"zoo":    sim.ZooNetworks(),
+		"custom": sim.RegisteredNetworks(),
+	})
 }
 
 // experimentIndexTable renders the experiment inventory as a report table,

@@ -136,6 +136,191 @@ func TestEvaluateBadRequests(t *testing.T) {
 	}
 }
 
+// post sends a JSON body to a path with an arbitrary content type.
+func post(t *testing.T, ts *httptest.Server, path, ctype, body string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, ctype, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// tinySpecJSON is a custom network absent from the zoo, in wire form.
+func tinySpecJSON(name string) string {
+	return fmt.Sprintf(`{
+		"name": %q,
+		"input": {"c": 3, "h": 32, "w": 32},
+		"layers": [
+			{"name": "conv1", "kind": "conv", "filters": 16, "kernel": 3, "pad": 1},
+			{"kind": "maxpool", "kernel": 2, "stride": 2},
+			{"kind": "fc", "units": 10}
+		]
+	}`, name)
+}
+
+func TestEvaluateInlineSpec(t *testing.T) {
+	ts := testServer(t)
+	body := fmt.Sprintf(`{"backend":"timely","spec":%s}`, tinySpecJSON("httpnet"))
+	status, raw := postEvaluate(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, raw)
+	}
+	var res struct {
+		Network  string  `json:"network"`
+		Energy   float64 `json:"energy_mj_per_image"`
+		IPS      float64 `json:"images_per_sec"`
+		SpecHash string  `json:"spec_hash"`
+	}
+	if err := json.Unmarshal([]byte(raw), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Network != "httpnet" || res.Energy <= 0 || res.IPS <= 0 || res.SpecHash == "" {
+		t.Errorf("result = %+v", res)
+	}
+
+	// An invalid inline spec is the client's fault.
+	bad := `{"backend":"timely","spec":{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[{"kind":"conv","filters":0,"kernel":3}]}}`
+	status, raw = postEvaluate(t, ts, bad)
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid spec: status = %d, body %s", status, raw)
+	}
+	if msg := errorBody(t, raw); !strings.Contains(msg, "filters") {
+		t.Errorf("error %q does not name the offending field", msg)
+	}
+}
+
+func TestRegisterNetworkEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, raw := post(t, ts, "/v1/networks", "application/json", tinySpecJSON("httpreg"))
+	if status != http.StatusOK {
+		t.Fatalf("register: status = %d, body %s", status, raw)
+	}
+	var info struct {
+		Name   string `json:"name"`
+		Layers int    `json:"layers"`
+		MACs   int64  `json:"macs"`
+		Params int64  `json:"params"`
+		Hash   string `json:"hash"`
+	}
+	if err := json.Unmarshal([]byte(raw), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "httpreg" || info.Layers != 3 || info.MACs <= 0 || info.Hash == "" {
+		t.Errorf("info = %+v", info)
+	}
+
+	// The registered network now evaluates by name.
+	status, raw = postEvaluate(t, ts, `{"backend":"prime","network":"httpreg"}`)
+	if status != http.StatusOK {
+		t.Fatalf("evaluate registered: status = %d, body %s", status, raw)
+	}
+
+	// Idempotent re-registration; conflicting redefinition is 409.
+	status, _ = post(t, ts, "/v1/networks", "application/json", tinySpecJSON("httpreg"))
+	if status != http.StatusOK {
+		t.Errorf("idempotent re-register: status = %d", status)
+	}
+	conflict := strings.Replace(tinySpecJSON("httpreg"), `"filters": 16`, `"filters": 8`, 1)
+	status, raw = post(t, ts, "/v1/networks", "application/json", conflict)
+	if status != http.StatusConflict {
+		t.Errorf("conflict: status = %d, body %s", status, raw)
+	}
+	errorBody(t, raw)
+
+	// Invalid specs are 400 with the offending field named.
+	status, raw = post(t, ts, "/v1/networks", "application/json",
+		`{"name":"httpbad","input":{"c":0,"h":4,"w":4},"layers":[{"kind":"fc","units":1}]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid: status = %d", status)
+	}
+	errorBody(t, raw)
+
+	// The index lists both zoo and custom entries.
+	status, raw, _ = get(t, ts, "/v1/networks", "")
+	if status != http.StatusOK {
+		t.Fatalf("index: status = %d", status)
+	}
+	var idx struct {
+		Zoo    []string `json:"zoo"`
+		Custom []struct {
+			Name string `json:"name"`
+		} `json:"custom"`
+	}
+	if err := json.Unmarshal([]byte(raw), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Zoo) != 15 {
+		t.Errorf("zoo has %d entries", len(idx.Zoo))
+	}
+	found := false
+	for _, c := range idx.Custom {
+		if c.Name == "httpreg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("custom index %+v missing httpreg", idx.Custom)
+	}
+}
+
+// TestPostBodyHardening pins the shared POST contract: non-JSON content
+// types get 415 and oversized bodies get 413 on every mutation endpoint.
+func TestPostBodyHardening(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/v1/evaluate", "/v1/networks"} {
+		status, raw := post(t, ts, path, "text/xml", `<spec/>`)
+		if status != http.StatusUnsupportedMediaType {
+			t.Errorf("%s xml: status = %d, want 415", path, status)
+		}
+		errorBody(t, raw)
+
+		status, raw = post(t, ts, path, "application/x-www-form-urlencoded", "backend=timely")
+		if status != http.StatusUnsupportedMediaType {
+			t.Errorf("%s form: status = %d, want 415", path, status)
+		}
+		errorBody(t, raw)
+
+		// An absent Content-Type is rejected too — the contract is
+		// explicit application/json, not "anything parseable".
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(`{"backend":"timely"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Del("Content-Type")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("%s no content type: status = %d, want 415", path, resp.StatusCode)
+		}
+		errorBody(t, string(body))
+
+		// A charset parameter on the JSON media type is fine (but the
+		// payload here is junk, so decoding fails with 400).
+		status, _ = post(t, ts, path, "application/json; charset=utf-8", `{"bogus":`)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s charset: status = %d, want 400", path, status)
+		}
+
+		// Oversized bodies are rejected, not read to completion.
+		big := `{"pad": "` + strings.Repeat("x", 2<<20) + `"}`
+		status, raw = post(t, ts, path, "application/json", big)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s big: status = %d, want 413", path, status)
+		}
+		errorBody(t, raw)
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	ts := testServer(t)
 	// GET on the POST-only endpoint and POST on a GET-only endpoint.

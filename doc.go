@@ -9,7 +9,11 @@
 // The public API is the sim package: a Backend facade over the analytic
 // accelerators and the functional Monte-Carlo simulator, constructed via
 // sim.Open("timely"|"prime"|"isaac"|"functional", opts...) with
-// context-aware evaluation. cmd/timelyd serves it over HTTP.
+// context-aware evaluation. Custom networks are first-class: any conv/fc/
+// pool topology spelled as a declarative sim.NetworkSpec (JSON) compiles
+// through the same spec pipeline as the built-in zoo and evaluates via
+// sim.Evaluate, timely evaluate -network @spec.json, or the service's
+// POST /v1/networks + /v1/evaluate. cmd/timelyd serves it all over HTTP.
 //
 // Run the harness with
 //

@@ -32,12 +32,25 @@ type memoEntry[V any] struct {
 }
 
 func (m *memo[V]) Do(key string, f func() (V, error)) (V, error) {
+	return m.DoCapped(key, 0, f)
+}
+
+// DoCapped is Do with an entry budget: once the cache holds limit entries
+// (0 = unlimited), misses compute without being stored while hits keep
+// sharing. It bounds caches whose key space a client controls — a stream
+// of unique spec-hash evaluations degrades to uncached compute instead of
+// growing the process without bound.
+func (m *memo[V]) DoCapped(key string, limit int, f func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if m.entries == nil {
 		m.entries = map[string]*memoEntry[V]{}
 	}
 	e, ok := m.entries[key]
 	if !ok {
+		if limit > 0 && len(m.entries) >= limit {
+			m.mu.Unlock()
+			return f()
+		}
 		e = &memoEntry[V]{}
 		m.entries[key] = e
 	}
@@ -113,6 +126,38 @@ func Eval(backend string, bits, chips int, network string) (*accel.Result, error
 		return evalIsaac(chips, network)
 	}
 	return nil, fmt.Errorf("experiments: unknown analytic backend %q", backend)
+}
+
+// maxSpecEvalEntries bounds the eval cache when the key is
+// client-controlled (unique custom specs): past the cap, evaluations still
+// run but are no longer stored.
+const maxSpecEvalEntries = 4096
+
+// EvalSpec returns the memoized analytic evaluation of a custom compiled
+// network at the shared design point, keyed by the canonical spec hash of
+// its layer table (model.Network.SpecHash) rather than its name: two
+// differently-named or differently-spelled specs that compile to the same
+// network share one cache entry, and a custom network can never collide
+// with a Table III benchmark's entry. The memoization is capped — a
+// client streaming unique specs degrades to uncached compute rather than
+// growing the cache without bound.
+func EvalSpec(backend string, bits, chips int, n *model.Network) (*accel.Result, error) {
+	var acc accel.Accelerator
+	key := fmt.Sprintf("%s/%d/spec:%s", backend, chips, n.SpecHash())
+	switch backend {
+	case "timely":
+		key = fmt.Sprintf("timely/%d/%d/spec:%s", bits, chips, n.SpecHash())
+		acc = accel.NewTimely(bits, chips)
+	case "prime":
+		acc = accel.NewPrime(chips)
+	case "isaac":
+		acc = accel.NewIsaac(chips)
+	default:
+		return nil, fmt.Errorf("experiments: unknown analytic backend %q", backend)
+	}
+	return evalCache.DoCapped(key, maxSpecEvalEntries, func() (*accel.Result, error) {
+		return acc.Evaluate(n)
+	})
 }
 
 // evalTimely returns the memoized TIMELY evaluation of one benchmark.

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestMemoDoCapped(t *testing.T) {
+	var m memo[int]
+	calls := 0
+	get := func(key string, limit int) int {
+		t.Helper()
+		v, err := m.DoCapped(key, limit, func() (int, error) { calls++; return calls, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Under the cap: classic memoization.
+	if get("a", 2) != 1 || get("a", 2) != 1 || get("b", 2) != 2 {
+		t.Fatalf("memoization under the cap broke (calls=%d)", calls)
+	}
+	// At the cap: misses compute every time and are not stored...
+	if get("c", 2) != 3 || get("c", 2) != 4 {
+		t.Errorf("over-cap key was cached (calls=%d)", calls)
+	}
+	// ...while existing entries keep hitting.
+	if get("a", 2) != 1 || get("b", 2) != 2 {
+		t.Errorf("cached entries lost at cap")
+	}
+	// Limit 0 (plain Do) is unlimited and stores the new key.
+	if get("c", 0) != 5 || get("c", 2) != 5 {
+		t.Errorf("unlimited insert then capped hit broke (calls=%d)", calls)
+	}
+}
+
+// TestEvalSpecSharedAcrossNames proves the spec-hash keying: two
+// differently-named compilations of the same layer table share one cache
+// entry and produce identical ledgers.
+func TestEvalSpecSharedAcrossNames(t *testing.T) {
+	spec := func(name string) *model.Spec {
+		return &model.Spec{
+			Name:  name,
+			Input: model.Dims{C: 1, H: 12, W: 12},
+			Layers: []model.LayerSpec{
+				{Name: "c1", Kind: "conv", Filters: 4, Kernel: 3, Pad: 1},
+				{Name: "out", Kind: "fc", Units: 3},
+			},
+		}
+	}
+	a, err := spec("net-a").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec("net-b").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpecHash() != b.SpecHash() {
+		t.Fatalf("renamed identical networks hash differently")
+	}
+	ra, err := EvalSpec("timely", 8, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := EvalSpec("timely", 8, 1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Errorf("identical networks did not share one cache entry")
+	}
+	if _, err := EvalSpec("abacus", 8, 1, a); err == nil {
+		t.Errorf("unknown backend accepted")
+	}
+}

@@ -57,12 +57,12 @@ func newAnalytic(name string) Factory {
 // Name implements Backend.
 func (a *analytic) Name() string { return a.name }
 
-// Networks implements Backend: the Table III benchmark suite.
+// Networks implements Backend: the Table III benchmark suite plus every
+// registered custom network.
 func (a *analytic) Networks() []string {
-	nets := model.Benchmarks()
-	names := make([]string, len(nets))
-	for i, n := range nets {
-		names[i] = n.Name
+	names := model.BenchmarkNames()
+	for _, info := range RegisteredNetworks() {
+		names = append(names, info.Name)
 	}
 	sort.Strings(names)
 	return names
@@ -74,19 +74,49 @@ func (a *analytic) customDesign() bool {
 	return a.cfg.IsSet(optSubChips) || a.cfg.IsSet(optGamma)
 }
 
-// Evaluate implements Backend.
+// Evaluate implements Backend: it resolves a Table III benchmark or a
+// registered custom network by name.
 func (a *analytic) Evaluate(ctx context.Context, network string) (*EvalResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	n, err := model.ByName(network)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q (backend %q evaluates the Table III suite)",
-			ErrUnknownNetwork, network, a.name)
+	if n, err := model.ByName(network); err == nil {
+		return a.finish(start, n, false)
 	}
+	if n, ok := registeredNetwork(network); ok {
+		return a.finish(start, n, true)
+	}
+	return nil, fmt.Errorf("%w: %q (backend %q evaluates the Table III suite and registered custom networks)",
+		ErrUnknownNetwork, network, a.name)
+}
+
+// EvaluateSpec implements SpecEvaluator: compile the inline spec through
+// the same path the zoo uses, then evaluate the network like any other.
+func (a *analytic) EvaluateSpec(ctx context.Context, spec *NetworkSpec) (*EvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if spec == nil {
+		return nil, fmt.Errorf("%w: nil spec", ErrInvalidSpec)
+	}
+	n, err := spec.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidSpec, err)
+	}
+	return a.finish(start, n, true)
+}
+
+// finish evaluates a compiled network and assembles the typed result.
+// Zoo benchmarks at the shared design point memoize under their Table III
+// name (the cache the experiment suite shares); custom networks memoize
+// under their canonical spec hash, which the result reports.
+func (a *analytic) finish(start time.Time, n *model.Network, custom bool) (*EvalResult, error) {
 	var res *accel.Result
-	if a.customDesign() {
+	var err error
+	switch {
+	case a.customDesign():
 		t := accel.NewTimely(a.cfg.Bits, a.cfg.Chips)
 		if a.cfg.IsSet(optSubChips) {
 			t.Cfg.SubChips = a.cfg.SubChips
@@ -95,22 +125,27 @@ func (a *analytic) Evaluate(ctx context.Context, network string) (*EvalResult, e
 			t.Cfg.Gamma = a.cfg.Gamma
 		}
 		res, err = t.Evaluate(n)
-	} else {
-		res, err = experiments.Eval(a.name, a.cfg.Bits, a.cfg.Chips, network)
+	case custom:
+		res, err = experiments.EvalSpec(a.name, a.cfg.Bits, a.cfg.Chips, n)
+	default:
+		res, err = experiments.Eval(a.name, a.cfg.Bits, a.cfg.Chips, n.Name)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("sim: %s/%s: %w", a.name, network, err)
+		return nil, fmt.Errorf("sim: %s/%s: %w", a.name, n.Name, err)
 	}
 	fits := res.Fits
 	out := &EvalResult{
 		Backend:          a.name,
-		Network:          network,
+		Network:          n.Name,
 		Chips:            a.cfg.Chips,
 		EnergyMJPerImage: res.EnergyPerImageMJ(),
 		PowerWatts:       res.AveragePowerWatts(),
 		ImagesPerSec:     res.ImagesPerSec,
 		TOPsPerWatt:      res.EfficiencyTOPsPerWatt(n),
 		Fits:             &fits,
+	}
+	if custom {
+		out.SpecHash = n.SpecHash()
 	}
 	if a.name == "timely" {
 		out.AreaMM2 = a.design().ChipAreaMM2 * float64(a.cfg.Chips)

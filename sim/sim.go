@@ -28,6 +28,14 @@
 // network) triples are memoized process-wide and shared with the
 // experiment harness, so concurrent callers compute each heavy input
 // exactly once.
+//
+// The analytic backends are network-agnostic: beyond the zoo they
+// evaluate arbitrary conv/fc/pool networks described declaratively as a
+// NetworkSpec — inline on a request (EvalRequest.Spec), registered by
+// name (RegisterNetwork), or exported from a zoo benchmark as a template
+// (ZooSpec). Specs compile through the same validated shape-inference
+// path as the built-in zoo, and custom evaluations are memoized under a
+// canonical spec hash.
 package sim
 
 import (
@@ -51,6 +59,15 @@ var (
 	ErrInvalidOption = errors.New("sim: invalid option")
 	// ErrDuplicateBackend reports a Register under an already-taken name.
 	ErrDuplicateBackend = errors.New("sim: backend already registered")
+	// ErrInvalidSpec reports a custom network spec that fails validation;
+	// it wraps the *SpecError naming the offending layer and field.
+	ErrInvalidSpec = errors.New("sim: invalid network spec")
+	// ErrDuplicateNetwork reports a RegisterNetwork under a name already
+	// taken by a different network (custom or built-in).
+	ErrDuplicateNetwork = errors.New("sim: network already registered")
+	// ErrRegistryFull reports a RegisterNetwork rejected because the
+	// process-wide custom-network registry reached its capacity.
+	ErrRegistryFull = errors.New("sim: custom network registry is full")
 )
 
 // Backend evaluates networks on one simulator configuration. A Backend is
@@ -99,9 +116,15 @@ type Design struct {
 type EvalRequest struct {
 	// Backend is the registry key ("timely", "prime", "isaac", "functional").
 	Backend string `json:"backend"`
-	// Network names the model: a Table III benchmark for the analytic
-	// backends, "mlp" or "cnn" for the functional one.
+	// Network names the model: a Table III benchmark or a registered
+	// custom network for the analytic backends, "mlp" or "cnn" for the
+	// functional one. Ignored (but checked for agreement) when Spec is set.
 	Network string `json:"network"`
+	// Spec carries an inline custom network. When set, the evaluation
+	// compiles it and runs it on the named backend — the backend must
+	// implement SpecEvaluator (the analytic backends do). Network, if also
+	// set, must match the spec's name.
+	Spec *NetworkSpec `json:"spec,omitempty"`
 	// Bits is TIMELY's operand precision (8 or 16).
 	Bits int `json:"bits,omitempty"`
 	// Chips is the deployment size.
@@ -206,6 +229,10 @@ type EvalResult struct {
 	TOPsPerWatt float64 `json:"tops_per_watt,omitempty"`
 	// AreaMM2 is the total deployment silicon area (timely only).
 	AreaMM2 float64 `json:"area_mm2,omitempty"`
+	// SpecHash is the canonical content hash of a custom network's layer
+	// table — the key its evaluation is memoized under (custom networks
+	// only; zoo benchmarks memoize by name).
+	SpecHash string `json:"spec_hash,omitempty"`
 	// Fits reports whether one instance of every layer fit the deployment
 	// simultaneously (analytic backends).
 	Fits *bool `json:"fits,omitempty"`
@@ -221,18 +248,31 @@ type EvalResult struct {
 }
 
 // Evaluate opens req.Backend with the request's options and evaluates
-// req.Network — the one-call form of the facade, and the exact semantics of
-// timelyd's POST /v1/evaluate.
+// req.Network — or, when req.Spec is set, compiles and evaluates the
+// inline custom network. It is the one-call form of the facade, and the
+// exact semantics of timelyd's POST /v1/evaluate.
 func Evaluate(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
 	if req.Backend == "" {
 		return nil, fmt.Errorf("%w: request names no backend", ErrUnknownBackend)
 	}
-	if req.Network == "" {
-		return nil, fmt.Errorf("%w: request names no network", ErrUnknownNetwork)
+	if req.Spec == nil && req.Network == "" {
+		return nil, fmt.Errorf("%w: request names no network and carries no spec", ErrUnknownNetwork)
+	}
+	if req.Spec != nil && req.Network != "" && req.Network != req.Spec.Name {
+		return nil, fmt.Errorf("%w: request names network %q but the inline spec is %q",
+			ErrInvalidSpec, req.Network, req.Spec.Name)
 	}
 	b, err := Open(req.Backend, req.options()...)
 	if err != nil {
 		return nil, err
+	}
+	if req.Spec != nil {
+		se, ok := b.(SpecEvaluator)
+		if !ok {
+			return nil, fmt.Errorf("%w: the %q backend does not evaluate custom network specs",
+				ErrInvalidOption, req.Backend)
+		}
+		return se.EvaluateSpec(ctx, req.Spec)
 	}
 	return b.Evaluate(ctx, req.Network)
 }
