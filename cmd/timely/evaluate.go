@@ -35,6 +35,7 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		fault    = fs.Float64("faultrate", 0, "stuck-at cell fraction (functional cnn)")
 		seed     = fs.Uint64("seed", 0, "Monte-Carlo base seed (functional)")
 		trials   = fs.Int("trials", 0, "Monte-Carlo repeats (functional; 0 = default)")
+		sampler  = fs.String("sampler", "", "Monte-Carlo sampling regime: v2 or v1 (functional; empty = backend default v2)")
 		timeout  = fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
 	)
 	fs.Usage = func() {
@@ -65,6 +66,7 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		SubChips: *subChips,
 		Gamma:    *gamma,
 		Trials:   *trials,
+		Sampler:  *sampler,
 	}
 	// The pointer fields distinguish "flag absent" from an explicit zero
 	// (noise 0 is an ideal-timing run), so set them only when passed.
@@ -156,8 +158,15 @@ func renderResult(w io.Writer, res *sim.EvalResult) {
 		}
 		line("int8 acc", "%.2f%%", a.Int*100)
 		line("analog acc", "%.2f%%", a.Analog*100)
+		if a.Trials > 1 {
+			line("analog p10/50/90", "%.2f%% / %.2f%% / %.2f%%",
+				a.AnalogP10*100, a.AnalogP50*100, a.AnalogP90*100)
+		}
 		line("loss", "%.2f pp", a.LossPP)
 		line("trials", "%d", a.Trials)
+		if a.Sampler != "" {
+			line("sampler", "%s", a.Sampler)
+		}
 	}
 	line("elapsed", "%.1f ms", res.ElapsedMS)
 }

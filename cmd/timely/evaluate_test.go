@@ -123,6 +123,26 @@ func TestEvaluateFunctionalBackend(t *testing.T) {
 	if !strings.Contains(out, "analog acc") || !strings.Contains(out, "trials") {
 		t.Errorf("functional output:\n%s", out)
 	}
+	if !strings.Contains(out, "sampler") || !strings.Contains(out, "v2") {
+		t.Errorf("default sampler regime missing from output:\n%s", out)
+	}
+	v1 := runOut(t, "evaluate", "-network", "mlp", "-backend", "functional", "-trials", "2", "-noise", "0", "-sampler", "v1")
+	if !strings.Contains(v1, "v1") {
+		t.Errorf("explicit v1 regime missing from output:\n%s", v1)
+	}
+}
+
+// TestEvaluateSamplerErrors: regime validation surfaces through the
+// evaluate subcommand for both a bad spelling and an inapplicable backend.
+func TestEvaluateSamplerErrors(t *testing.T) {
+	if err := run([]string{"evaluate", "-network", "mlp", "-backend", "functional", "-sampler", "v9"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("invalid sampler accepted")
+	}
+	if err := run([]string{"evaluate", "-network", "VGG-D", "-backend", "timely", "-sampler", "v2"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("sampler accepted on an analytic backend")
+	}
 }
 
 // TestOutDirCreatedForNestedPath pins the -out satellite: a deep path that

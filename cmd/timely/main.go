@@ -19,6 +19,8 @@
 //	-out <dir>              write one file per experiment into dir
 //	-par N                  run N experiments concurrently (default GOMAXPROCS)
 //	-timeout <dur>          abort the run after this long (e.g. 30s; 0 = none)
+//	-sampler v1|v2          Monte-Carlo sampling regime (default v2; v1 keeps
+//	                        the legacy byte-identical deviate streams)
 //	-v                      print a per-experiment timing summary to stderr
 //	-cpuprofile <file>      write a pprof CPU profile of the run
 //	-memprofile <file>      write a pprof heap profile taken after the run
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -60,6 +63,7 @@ type options struct {
 	outDir     string
 	par        int
 	timeout    time.Duration
+	sampler    string
 	vrbose     bool
 	cpuprofile string
 	memprofile string
@@ -87,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.outDir, "out", "", "write one file per experiment into this directory")
 	fs.IntVar(&opt.par, "par", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	fs.DurationVar(&opt.timeout, "timeout", 0, "abort the run after this long (0 = no timeout)")
+	fs.StringVar(&opt.sampler, "sampler", "v2", "Monte-Carlo sampling regime: v2 (sublinear) or v1 (legacy byte-identical streams)")
 	fs.BoolVar(&opt.vrbose, "v", false, "print a per-experiment timing summary to stderr")
 	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile taken after the run to this file")
@@ -138,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text, csv or json)", opt.format)
 	}
+	sampler, err := stats.ParseSamplerVersion(opt.sampler)
+	if err != nil {
+		return fmt.Errorf("unknown sampler %q (want v1 or v2)", opt.sampler)
+	}
 	// The worker pool treats any par < 1 as one worker; clamp here so the
 	// timing summary and docs never see a nonsensical value either.
 	if opt.par < 1 {
@@ -169,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
 		defer cancel()
 	}
-	results := experiments.Run(ctx, exps, experiments.Options{Par: opt.par})
+	results := experiments.Run(ctx, exps, experiments.Options{Par: opt.par, Sampler: sampler})
 	if opt.vrbose {
 		timingSummary(stderr, results)
 	}
@@ -296,6 +305,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  -out <dir>             write one file per experiment into dir")
 	fmt.Fprintln(w, "  -par N                 concurrent experiments (default GOMAXPROCS)")
 	fmt.Fprintln(w, "  -timeout <dur>         abort the run after this long (0 = none)")
+	fmt.Fprintln(w, "  -sampler v1|v2         Monte-Carlo sampling regime (default v2; v1 = legacy streams)")
 	fmt.Fprintln(w, "  -v                     per-experiment timing summary on stderr")
 	fmt.Fprintln(w, "  -cpuprofile <file>     write a pprof CPU profile of the run")
 	fmt.Fprintln(w, "  -memprofile <file>     write a pprof heap profile after the run")

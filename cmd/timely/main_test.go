@@ -108,6 +108,25 @@ func TestListAndUnknown(t *testing.T) {
 	}
 }
 
+// TestSamplerFlag: the regime flag validates its spelling, defaults to v2,
+// and the analytic experiments are regime-independent (identical bytes
+// under v1 and v2).
+func TestSamplerFlag(t *testing.T) {
+	if err := run([]string{"table5", "-sampler", "v3"}, io.Discard, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "sampler") {
+		t.Errorf("unknown sampler accepted (err = %v)", err)
+	}
+	def := runOut(t, "table5")
+	for _, v := range []string{"v1", "v2"} {
+		if got := runOut(t, "table5", "-sampler", v); got != def {
+			t.Errorf("analytic experiment bytes changed under -sampler %s", v)
+		}
+	}
+	if !strings.Contains(runOut(t, "-h"), "-sampler") {
+		t.Error("usage does not document -sampler")
+	}
+}
+
 func TestVerboseTimingSummary(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"table5", "-v"}, &out, &errb); err != nil {

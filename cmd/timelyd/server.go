@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/stats"
 	"repro/sim"
 )
 
@@ -245,9 +246,16 @@ func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExperiment regenerates one paper artifact under the request
-// context and writes it in the negotiated representation.
+// context and writes it in the negotiated representation. The optional
+// ?sampler=v1|v2 query parameter selects the Monte-Carlo sampling regime
+// (default v2; v1 reproduces the legacy golden byte streams).
 func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	format, err := pickFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sampler, err := stats.ParseSamplerVersion(r.URL.Query().Get("sampler"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -259,7 +267,8 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	results := experiments.Run(ctx, []experiments.Experiment{e}, experiments.Options{Par: s.par})
+	results := experiments.Run(ctx, []experiments.Experiment{e},
+		experiments.Options{Par: s.par, Sampler: sampler})
 	if rerr := results[0].Err; rerr != nil {
 		writeError(w, errorStatus(rerr), fmt.Errorf("%s: %w", e.ID, rerr))
 		return

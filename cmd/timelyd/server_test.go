@@ -409,6 +409,24 @@ func TestExperimentArtifact(t *testing.T) {
 	errorBody(t, body)
 }
 
+// TestExperimentSamplerParam: the ?sampler= query selects the Monte-Carlo
+// regime — analytic artifacts are regime-independent, bad spellings 400.
+func TestExperimentSamplerParam(t *testing.T) {
+	ts := testServer(t)
+	_, def, _ := get(t, ts, "/v1/experiments/table5", "")
+	for _, v := range []string{"v1", "v2"} {
+		status, body, _ := get(t, ts, "/v1/experiments/table5?sampler="+v, "")
+		if status != http.StatusOK || body != def {
+			t.Errorf("sampler=%s: status %d, bytes changed=%v", v, status, body != def)
+		}
+	}
+	status, body, _ := get(t, ts, "/v1/experiments/table5?sampler=bogus", "")
+	if status != http.StatusBadRequest {
+		t.Errorf("bogus sampler: status %d, want 400", status)
+	}
+	errorBody(t, body)
+}
+
 // TestConcurrentRequests exercises the memoized caches and the worker pool
 // from many goroutines at once; run with -race this is the service's
 // concurrency-safety proof.

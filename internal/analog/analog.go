@@ -39,13 +39,24 @@ type Noise struct {
 }
 
 // DefaultNoise returns the paper's design-point noise configuration
-// (§V, §VI-B) seeded deterministically.
+// (§V, §VI-B) seeded deterministically, drawing under the legacy v1
+// sampling regime (Box-Muller Gaussians); see DefaultNoiseSampler.
 func DefaultNoise(seed uint64) *Noise {
+	return DefaultNoiseSampler(seed, stats.SamplerV1)
+}
+
+// DefaultNoiseSampler is DefaultNoise with an explicit sampling regime for
+// the injection RNG: stats.SamplerV2 (the default regime) draws its
+// Gaussians through the Ziggurat hot path, stats.SamplerV1 reproduces the
+// legacy Box-Muller stream byte for byte. The regime changes the deviate
+// sequence, not its distribution — the accuracy studies are statistically
+// identical under either (see the regime-equivalence tests).
+func DefaultNoiseSampler(seed uint64, v stats.SamplerVersion) *Noise {
 	return &Noise{
 		XSubBufSigma:    params.DefaultXSubBufSigma,
 		PSubBufRelSigma: params.DefaultPSubBufRelSigma,
 		ComparatorSigma: params.DefaultComparatorSigma,
-		RNG:             stats.NewRNG(seed),
+		RNG:             stats.NewRNGSampler(seed, v),
 	}
 }
 

@@ -207,7 +207,12 @@ func (s *SubChip) ApplyIRDrop(alpha float64) {
 // identical random sequence is consumed either way — and the physical
 // injection is replayed from an RNG snapshot if the crossbar is touched
 // later, so the returned fault map and all downstream results match an
-// eager injection exactly.
+// eager injection exactly. The count/replay contract holds under both
+// sampling regimes: the RNG snapshot carries its regime, and
+// reram.CountStuckFaults consumes exactly the stream InjectStuckFaults
+// replays — O(cells) per crossbar under v1, one binomial count draw plus
+// O(faults) position/polarity draws under v2 (the sublinear defect-sweep
+// hot path).
 func (s *SubChip) InjectFaults(rate float64) (reram.FaultMap, error) {
 	if s.noise == nil || s.noise.RNG == nil {
 		return reram.FaultMap{}, fmt.Errorf("core: fault injection needs Options.Noise with an RNG")
@@ -592,17 +597,28 @@ func (m *MappedLayer) forwardBatchDet(inputs []int, nvec int, out []int) error {
 		}
 		// Interface stages per wave: P-subBuf mirrors are identities without
 		// noise, the I-adder sum runs in the same ascending-grid-row order.
+		// Layers inside one crossbar grid row (the common case) read their
+		// column dot directly: the single-term I-adder sum 0+x reproduces x
+		// bitwise, because the kernels never produce a −0.0 dot (column
+		// accumulators start at +0.0 and IEEE addition cannot reach −0.0
+		// from there).
+		oneRow := m.gridRowsUsed == 1
 		for v := 0; v < n; v++ {
 			o := out[(base+v)*d : (base+v+1)*d]
+			row0 := colDots[v*m.physCols : (v+1)*m.physCols]
 			for di := 0; di < d; di++ {
 				acc := 0
 				for arm := 0; arm < armsPerWeight; arm++ {
 					armDot := 0
 					for nib := 0; nib < m.colsPerArm; nib++ {
 						gcol := m.globalCol(di, arm, nib)
-						total := 0.0
-						for gr := 0; gr < m.gridRowsUsed; gr++ {
-							total += colDots[(gr*n+v)*m.physCols+gcol]
+						var total float64
+						if oneRow {
+							total = row0[gcol]
+						} else {
+							for gr := 0; gr < m.gridRowsUsed; gr++ {
+								total += colDots[(gr*n+v)*m.physCols+gcol]
+							}
 						}
 						// Charging + TDC, inlined (see constants above).
 						t := full * total / fs

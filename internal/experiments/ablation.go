@@ -65,8 +65,13 @@ type DefectPoint struct {
 // over several fault-map draws (§V: "TIMELY ... leverages algorithm
 // resilience of CNNs/DNNs to counter hardware vulnerability"; no
 // defect-aware retraining or remapping is applied, so this is the
-// unprotected floor the rescue literature improves on).
-func DefectSweep(ctx context.Context, seed uint64, rates []float64) ([]DefectPoint, error) {
+// unprotected floor the rescue literature improves on). The fault maps
+// draw under the given sampling regime: v1 spends one deviate per cell of
+// the 16×12 crossbar grid (~12.6M per draw), v2 one binomial count per
+// crossbar plus O(faults) position draws — the sublinear hot path the
+// sweep's wall-clock floor collapsed onto.
+func DefectSweep(ctx context.Context, seed uint64, rates []float64, sampler stats.SamplerVersion) ([]DefectPoint, error) {
+	sampler = sampler.Resolve()
 	tc, err := defectCNN(seed)
 	if err != nil {
 		return nil, err
@@ -84,7 +89,7 @@ func DefectSweep(ctx context.Context, seed uint64, rates []float64) ([]DefectPoi
 	err = parallelEach(ctx, len(units), func(i int) error {
 		rate, d := rates[i/draws], i%draws
 		a, err := cnn.MapAnalog(core.Options{
-			Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
+			Noise:         &analog.Noise{RNG: stats.NewRNGSampler(seed+uint64(d)*101+1, sampler)},
 			InterfaceBits: 24,
 		}, rate)
 		if err != nil {
@@ -120,21 +125,29 @@ type DefectResult struct {
 	// AnalogAcc the analog-datapath accuracy at the fault rate, averaged
 	// over Trials fault-map draws.
 	IntAcc, AnalogAcc float64
+	// AccP10/AccP50/AccP90 summarise the per-draw accuracy spread
+	// (percentiles over the Trials draws, one sort via
+	// stats.PercentilesInto).
+	AccP10, AccP50, AccP90 float64
 	// Faults is the mean realised stuck-cell count per draw.
 	Faults int
 	// Trials is the fault-map draw count.
 	Trials int
+	// Sampler is the resolved sampling regime the fault maps drew under.
+	Sampler stats.SamplerVersion
 }
 
 // AnalogCNNAccuracy maps the synthetic-image CNN (memoized per seed, shared
 // with DefectSweep) onto faulty crossbars at one stuck-at rate and measures
 // the analog accuracy over trials independent fault-map draws. Draw d uses
-// the same RNG stream DefectSweep gives its d-th draw, so the facade and
-// the ablation experiment agree exactly at equal (seed, rate, draws).
-func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate float64) (*DefectResult, error) {
+// the same RNG stream DefectSweep gives its d-th draw under the same
+// regime, so the facade and the ablation experiment agree exactly at equal
+// (seed, rate, draws, sampler).
+func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate float64, sampler stats.SamplerVersion) (*DefectResult, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
 	}
+	sampler = sampler.Resolve()
 	tc, err := defectCNN(seed)
 	if err != nil {
 		return nil, err
@@ -147,7 +160,7 @@ func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate f
 	units := make([]unit, trials)
 	err = parallelEach(ctx, trials, func(d int) error {
 		a, err := cnn.MapAnalog(core.Options{
-			Noise:         &analog.Noise{RNG: stats.NewRNG(seed + uint64(d)*101 + 1)},
+			Noise:         &analog.Noise{RNG: stats.NewRNGSampler(seed+uint64(d)*101+1, sampler)},
 			InterfaceBits: 24,
 		}, faultRate)
 		if err != nil {
@@ -163,14 +176,19 @@ func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate f
 	if err != nil {
 		return nil, err
 	}
-	res := &DefectResult{IntAcc: cnn.AccuracyInt(test), Trials: trials}
+	res := &DefectResult{IntAcc: cnn.AccuracyInt(test), Trials: trials, Sampler: sampler}
 	sum, faults := 0.0, 0
-	for _, u := range units {
+	accs := make([]float64, trials)
+	for i, u := range units {
 		sum += u.acc
 		faults += u.faults
+		accs[i] = u.acc
 	}
 	res.AnalogAcc = sum / float64(trials)
 	res.Faults = faults / trials
+	var pcts [3]float64
+	stats.PercentilesInto(accs, []float64{10, 50, 90}, pcts[:])
+	res.AccP10, res.AccP50, res.AccP90 = pcts[0], pcts[1], pcts[2]
 	return res, nil
 }
 
@@ -198,14 +216,14 @@ func SchemeComparison() []SchemePoint {
 	}
 }
 
-func runAblation(ctx context.Context) ([]*report.Table, error) {
+func runAblation(ctx context.Context, env Env) ([]*report.Table, error) {
 	g := report.New("Ablation: DTC/TDC sharing factor gamma (Table II point: 8)",
 		"gamma", "cycle (ns)", "sub-chip mm^2", "peak TOPS/sub-chip", "TOPs/(s*mm^2)")
 	for _, p := range GammaSweep([]int{1, 2, 4, 8, 16, 32}) {
 		g.AddF(p.Gamma, p.CycleNS, fmt.Sprintf("%.2f", p.SubChipMM2),
 			fmt.Sprintf("%.2f", p.PeakTOPS), fmt.Sprintf("%.2f", p.DensityTOPsMM2))
 	}
-	pts, err := DefectSweep(ctx, 5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30})
+	pts, err := DefectSweep(ctx, 5, []float64{0, 0.001, 0.01, 0.05, 0.15, 0.30}, env.Sampler)
 	if err != nil {
 		return nil, err
 	}

@@ -21,8 +21,14 @@ type AccuracyResult struct {
 	Loss float64
 	// CascadeErrorPS is √12·ε, against MarginPS (the DTC design margin).
 	CascadeErrorPS, MarginPS float64
+	// AccP10/AccP50/AccP90 summarise the per-trial analog-accuracy spread
+	// (linear-interpolated percentiles over the Trials draws, computed
+	// with one sort via stats.PercentilesInto).
+	AccP10, AccP50, AccP90 float64
 	// Trials is the Monte-Carlo repeat count.
 	Trials int
+	// Sampler is the resolved sampling regime the trials drew under.
+	Sampler stats.SamplerVersion
 }
 
 // NoiseSweepPoint is one ε point of the noise ablation.
@@ -36,21 +42,27 @@ type NoiseSweepPoint struct {
 
 // RunAccuracy trains the synthetic classifier (memoized per seed, shared
 // with RunNoiseSweep), quantises it to TIMELY's 8-bit datapath and measures
-// the analog accuracy at the paper's design-point noise.
-func RunAccuracy(ctx context.Context, seed uint64, trials int) (*AccuracyResult, error) {
-	return AnalogMLPAccuracy(ctx, seed, trials, params.DefaultXSubBufSigma)
+// the analog accuracy at the paper's design-point noise, drawing under the
+// given sampling regime (stats.SamplerDefault resolves to v2).
+func RunAccuracy(ctx context.Context, seed uint64, trials int, sampler stats.SamplerVersion) (*AccuracyResult, error) {
+	return AnalogMLPAccuracy(ctx, seed, trials, params.DefaultXSubBufSigma, sampler)
 }
 
 // AnalogMLPAccuracy is the generalized §VI-B accuracy study behind the
 // public sim facade: the design-point methodology of RunAccuracy at an
 // arbitrary per-X-subBuf error epsPS (in ps). Each Monte-Carlo trial draws
-// its noise RNG from the trial index, so results are deterministic per
-// (seed, trials, epsPS) at any worker count; at the design-point epsilon it
-// is byte-for-byte RunAccuracy.
-func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float64) (*AccuracyResult, error) {
+// its noise RNG from the trial index under the given sampling regime, so
+// results are deterministic per (seed, trials, epsPS, sampler) at any
+// worker count; at the design-point epsilon it is byte-for-byte
+// RunAccuracy. The trained classifier itself is regime-independent
+// (training draws stay on the legacy stream), so FloatAcc/IntAcc — and the
+// noise distribution, though not its exact deviates — are identical across
+// regimes.
+func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float64, sampler stats.SamplerVersion) (*AccuracyResult, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
 	}
+	sampler = sampler.Resolve()
 	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
@@ -62,12 +74,13 @@ func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float
 		CascadeErrorPS: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, epsPS),
 		MarginPS:       params.TDelMargin,
 		Trials:         trials,
+		Sampler:        sampler,
 	}
 	// Monte-Carlo trials are independent (per-trial noise RNG); run them on
 	// the worker budget and reduce in trial order.
 	accs := make([]float64, trials)
 	err = parallelEach(ctx, trials, func(trial int) error {
-		noise := analog.DefaultNoise(seed + uint64(trial)*7919)
+		noise := analog.DefaultNoiseSampler(seed+uint64(trial)*7919, sampler)
 		noise.XSubBufSigma = epsPS
 		a, err := q.MapAnalog(core.Options{
 			Noise:         noise,
@@ -93,13 +106,18 @@ func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float
 	}
 	res.AnalogAcc = sum / float64(trials)
 	res.Loss = res.IntAcc - res.AnalogAcc
+	var pcts [3]float64
+	stats.PercentilesInto(accs, []float64{10, 50, 90}, pcts[:])
+	res.AccP10, res.AccP50, res.AccP90 = pcts[0], pcts[1], pcts[2]
 	return res, nil
 }
 
 // RunNoiseSweep sweeps the X-subBuf error ε and reports analog accuracy —
 // the ablation behind the paper's choice of ε, cascade limit and margin.
-// The classifier is memoized per seed, shared with RunAccuracy.
-func RunNoiseSweep(ctx context.Context, seed uint64, epsilons []float64) ([]NoiseSweepPoint, error) {
+// The classifier is memoized per seed, shared with RunAccuracy; the noise
+// draws follow the given sampling regime.
+func RunNoiseSweep(ctx context.Context, seed uint64, epsilons []float64, sampler stats.SamplerVersion) ([]NoiseSweepPoint, error) {
+	sampler = sampler.Resolve()
 	tm, err := accuracyMLP(seed)
 	if err != nil {
 		return nil, err
@@ -114,7 +132,7 @@ func RunNoiseSweep(ctx context.Context, seed uint64, epsilons []float64) ([]Nois
 			XSubBufSigma:    eps,
 			PSubBufRelSigma: params.DefaultPSubBufRelSigma,
 			ComparatorSigma: params.DefaultComparatorSigma,
-			RNG:             stats.NewRNG(seed + 1),
+			RNG:             stats.NewRNGSampler(seed+1, sampler),
 		}
 		a, err := q.MapAnalog(core.Options{Noise: noise, InterfaceBits: 24,
 			InputHops: params.MaxCascadedXSubBufs})
@@ -138,8 +156,8 @@ func RunNoiseSweep(ctx context.Context, seed uint64, epsilons []float64) ([]Nois
 	return pts, nil
 }
 
-func runAccuracy(ctx context.Context) ([]*report.Table, error) {
-	res, err := RunAccuracy(ctx, 2020, 5)
+func runAccuracy(ctx context.Context, env Env) ([]*report.Table, error) {
+	res, err := RunAccuracy(ctx, 2020, 5, env.Sampler)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +168,7 @@ func runAccuracy(ctx context.Context) ([]*report.Table, error) {
 	t.Add(fmt.Sprintf("analog accuracy (design point, %d trials)", res.Trials), report.Pct(res.AnalogAcc))
 	t.Add("accuracy loss", fmt.Sprintf("%.2f pp (paper: <=0.1%% on CNNs)", res.Loss*100))
 	t.Add("cascade error sqrt(12)*eps", fmt.Sprintf("%.1f ps (margin %.0f ps)", res.CascadeErrorPS, res.MarginPS))
-	pts, err := RunNoiseSweep(ctx, 2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800})
+	pts, err := RunNoiseSweep(ctx, 2020, []float64{0, 5, 10, 20, 50, 100, 200, 400, 800}, env.Sampler)
 	if err != nil {
 		return nil, err
 	}

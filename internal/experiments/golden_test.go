@@ -6,21 +6,16 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/stats"
 )
 
-// TestAccuracyAblationGolden locks the text artifacts of the two
-// Monte-Carlo-heavy experiments byte-for-byte against a golden capture from
-// before the batched/flat-kernel datapath landed: the performance work must
-// never change a single output byte. Regenerate the golden (only after an
-// intentional modelling change) with:
-//
-//	go run ./cmd/timely accuracy ablation -par 1 \
-//	    > internal/experiments/testdata/accuracy_ablation.golden
-func TestAccuracyAblationGolden(t *testing.T) {
-	if testing.Short() {
-		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
-	}
-	want, err := os.ReadFile(filepath.Join("testdata", "accuracy_ablation.golden"))
+// runGolden renders the two Monte-Carlo-heavy experiments under the given
+// sampling regime and compares the text artifact byte-for-byte against a
+// golden file.
+func runGolden(t *testing.T, sampler stats.SamplerVersion, file string) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", file))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +28,41 @@ func TestAccuracyAblationGolden(t *testing.T) {
 		exps = append(exps, e)
 	}
 	var got bytes.Buffer
-	if err := WriteText(&got, Run(context.Background(), exps, Options{Par: 1})); err != nil {
+	if err := WriteText(&got, Run(context.Background(), exps, Options{Par: 1, Sampler: sampler})); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want) {
-		t.Fatalf("accuracy+ablation text output differs from golden (%d vs %d bytes);\n"+
-			"the functional datapath must stay byte-identical — if the change is an\n"+
-			"intentional modelling change, regenerate the golden (see comment)",
-			got.Len(), len(want))
+		t.Fatalf("accuracy+ablation text output under sampler %s differs from %s (%d vs %d bytes);\n"+
+			"the functional datapath must stay byte-identical per regime — if the change is an\n"+
+			"intentional modelling change, regenerate the golden (see comments)",
+			sampler.Resolve(), file, got.Len(), len(want))
 	}
+}
+
+// TestAccuracyAblationGolden locks the text artifacts of the two
+// Monte-Carlo-heavy experiments byte-for-byte under the default sampler-v2
+// regime. Regenerate (only after an intentional modelling or regime
+// change) with:
+//
+//	go run ./cmd/timely accuracy ablation -par 1 \
+//	    > internal/experiments/testdata/accuracy_ablation.golden
+func TestAccuracyAblationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
+	}
+	runGolden(t, stats.SamplerDefault, "accuracy_ablation.golden")
+}
+
+// TestAccuracyAblationGoldenV1 locks the legacy v1 regime against the
+// golden captured before the batched/flat-kernel datapath landed (PR 2)
+// and untouched since: the sampler-v2 work must never change a single v1
+// output byte. Regenerate with:
+//
+//	go run ./cmd/timely accuracy ablation -par 1 -sampler v1 \
+//	    > internal/experiments/testdata/accuracy_ablation_v1.golden
+func TestAccuracyAblationGoldenV1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
+	}
+	runGolden(t, stats.SamplerV1, "accuracy_ablation_v1.golden")
 }

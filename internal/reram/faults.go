@@ -48,15 +48,23 @@ func (f FaultMap) Total() int { return f.SA0 + f.SA1 }
 // defect literature). Faulted cells override whatever was programmed and
 // ignore later Program calls. It returns the injected fault map.
 //
-// The random sequence consumed is exactly one uniform deviate per cell plus
-// one more per faulted cell; CountStuckFaults consumes the identical
-// sequence, which lets callers defer the array mutation and replay it later
-// from a cloned generator.
+// The draw algorithm follows the generator's sampling regime. Under the
+// legacy v1 regime the sequence is exactly one uniform deviate per cell
+// plus one more per faulted cell — O(cells) per injection. Under the v2
+// regime the realised fault count comes from one exact Binomial(cells,
+// rate) draw and the positions from Floyd's sampling without replacement —
+// O(faults) per injection, the sublinear hot path of the defect sweep.
+// Either way CountStuckFaults consumes the identical sequence, which lets
+// callers defer the array mutation and replay it later from a cloned
+// generator.
 func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, error) {
 	if rate < 0 || rate > 1 {
 		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
 	}
 	x.invalidate()
+	if rng.Sampler() == stats.SamplerV2 {
+		return x.injectStuckFaultsV2(rate, rng), nil
+	}
 	var fm FaultMap
 	// The fault slice is only allocated once the first fault lands, so
 	// low-rate draws on large arrays stay allocation-free. The generator
@@ -89,17 +97,68 @@ func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, er
 	return fm, nil
 }
 
+// injectStuckFaultsV2 is the sampler-v2 injection: one exact binomial
+// count draw, then Floyd's sampling for the distinct fault positions, with
+// one polarity deviate per fault interleaved after its position draw. The
+// consumed sequence is one Binomial draw plus, per fault, one bounded
+// position draw (an Intn call; its raw Uint64 consumption can vary on
+// Lemire rejection) and one polarity draw — deterministic per generator
+// state and identical to the CountStuckFaults v2 path, so deferred
+// injections replay exactly from a clone.
+func (x *Crossbar) injectStuckFaultsV2(rate float64, rng *stats.RNG) FaultMap {
+	var fm FaultMap
+	k := rng.Binomial(len(x.levels), rate)
+	if k == 0 {
+		return fm
+	}
+	if x.faults == nil {
+		x.faults = make([]int8, len(x.levels))
+	}
+	maxLevel := x.MaxLevel()
+	rng.SampleK(len(x.levels), k, func(pos int) {
+		// Polarity draw per fault: top bit clear ⇔ Float64() < 0.5, the
+		// same 50/50 split rule as the v1 stream.
+		if rng.Uint64() < 1<<63 {
+			x.faults[pos] = faultSA0
+			x.levels[pos] = 0
+			fm.SA0++
+		} else {
+			x.faults[pos] = faultSA1
+			x.levels[pos] = maxLevel
+			fm.SA1++
+		}
+	})
+	return fm
+}
+
 // CountStuckFaults draws the same random sequence InjectStuckFaults would
 // consume over n cells and returns the fault map it would realise, without
 // touching any array. Package core uses it to account faults on crossbars
 // that are never computed on, deferring the physical injection until a
 // crossbar is materialised (replayed from a generator clone snapshotted
-// before this call).
+// before this call). Like the injection itself, the draw algorithm — and
+// therefore the cost, O(cells) under v1 vs O(faults) under v2 — follows
+// the generator's sampling regime.
 func CountStuckFaults(n int, rate float64, rng *stats.RNG) (FaultMap, error) {
 	if rate < 0 || rate > 1 {
 		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
 	}
 	var fm FaultMap
+	if rng.Sampler() == stats.SamplerV2 {
+		// Identical consumption to injectStuckFaultsV2: the binomial count,
+		// k position draws (Floyd's consumes exactly one bounded deviate
+		// per selection regardless of collisions), and k polarity draws in
+		// the same interleaved order. Only the array mutation is skipped.
+		k := rng.Binomial(n, rate)
+		rng.SampleK(n, k, func(int) {
+			if rng.Uint64() < 1<<63 {
+				fm.SA0++
+			} else {
+				fm.SA1++
+			}
+		})
+		return fm, nil
+	}
 	// Same register-resident, division-free draw loop as InjectStuckFaults
 	// (see the equivalence argument there); this is the hottest loop of the
 	// defect sweep, which walks millions of cells per trial. At low rates

@@ -203,7 +203,38 @@ func (x *Crossbar) DotColumns(scaled []float64, col0, ncols int, out []float64) 
 	for j := range out {
 		out[j] = 0
 	}
-	for i, s := range scaled {
+	// Four conductance rows per pass when all four inputs are live: the
+	// fused expression is the same left-associated ascending-row fold as
+	// row-at-a-time accumulation, so results stay bit-identical while the
+	// out[] loads/stores amortise over four multiply-adds. Sparse quads
+	// (and the tail) fall back to the per-row fold, which skips zero
+	// inputs exactly like the original kernel.
+	rows := len(scaled)
+	i := 0
+	for ; i+3 < rows; i += 4 {
+		s0, s1, s2, s3 := scaled[i], scaled[i+1], scaled[i+2], scaled[i+3]
+		if s0 != 0 && s1 != 0 && s2 != 0 && s3 != 0 {
+			g0 := g[i*b+col0 : i*b+col0+ncols]
+			g1 := g[(i+1)*b+col0 : (i+1)*b+col0+ncols]
+			g2 := g[(i+2)*b+col0 : (i+2)*b+col0+ncols]
+			g3 := g[(i+3)*b+col0 : (i+3)*b+col0+ncols]
+			for j, gj := range g0 {
+				out[j] = out[j] + s0*gj + s1*g1[j] + s2*g2[j] + s3*g3[j]
+			}
+			continue
+		}
+		for q, s := range [4]float64{s0, s1, s2, s3} {
+			if s == 0 {
+				continue
+			}
+			row := g[(i+q)*b+col0 : (i+q)*b+col0+ncols]
+			for j, gj := range row {
+				out[j] += s * gj
+			}
+		}
+	}
+	for ; i < rows; i++ {
+		s := scaled[i]
 		if s == 0 {
 			continue
 		}
@@ -247,34 +278,42 @@ func (x *Crossbar) DotColumnsBatch(scaled []float64, nvec, istride, rows, col0, 
 			o[j] = 0
 		}
 	}
-	// Two conductance rows per pass, keeping each column's accumulation
-	// serial (o[j] + s0·g0[j], then + s1·g1[j]) so the float result stays
-	// bit-identical to the row-at-a-time order.
+	// Four conductance rows per pass, keeping each column's accumulation
+	// serial (o[j] + s0·g0[j] + s1·g1[j] + … evaluates left to right) so
+	// the float result stays bit-identical to the row-at-a-time order
+	// while the o[] loads/stores amortise over four multiply-adds. Quads
+	// with dead inputs fall back to per-row accumulation, which skips zero
+	// terms exactly like the scalar kernel; the ≤3-row tail does the same.
 	i := 0
-	for ; i+1 < rows; i += 2 {
+	for ; i+3 < rows; i += 4 {
 		g0 := g[i*b+col0 : i*b+col0+ncols]
 		g1 := g[(i+1)*b+col0 : (i+1)*b+col0+ncols]
+		g2 := g[(i+2)*b+col0 : (i+2)*b+col0+ncols]
+		g3 := g[(i+3)*b+col0 : (i+3)*b+col0+ncols]
+		gq := [4][]float64{g0, g1, g2, g3}
 		for v := 0; v < nvec; v++ {
 			s0 := scaled[v*istride+i]
 			s1 := scaled[v*istride+i+1]
+			s2 := scaled[v*istride+i+2]
+			s3 := scaled[v*istride+i+3]
 			o := out[v*ostride : v*ostride+ncols]
-			switch {
-			case s0 != 0 && s1 != 0:
+			if s0 != 0 && s1 != 0 && s2 != 0 && s3 != 0 {
 				for j, gj := range g0 {
-					o[j] = o[j] + s0*gj + s1*g1[j]
+					o[j] = o[j] + s0*gj + s1*g1[j] + s2*g2[j] + s3*g3[j]
 				}
-			case s0 != 0:
-				for j, gj := range g0 {
-					o[j] += s0 * gj
+				continue
+			}
+			for q, s := range [4]float64{s0, s1, s2, s3} {
+				if s == 0 {
+					continue
 				}
-			case s1 != 0:
-				for j, gj := range g1 {
-					o[j] += s1 * gj
+				for j, gj := range gq[q] {
+					o[j] += s * gj
 				}
 			}
 		}
 	}
-	if i < rows {
+	for ; i < rows; i++ {
 		grow := g[i*b+col0 : i*b+col0+ncols]
 		for v := 0; v < nvec; v++ {
 			s := scaled[v*istride+i]

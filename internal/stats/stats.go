@@ -1,10 +1,14 @@
 // Package stats provides the deterministic random-number generation and
 // small statistics helpers used across the simulator: a splitmix64 PRNG,
 // Gaussian sampling for circuit-noise injection, geometric means for the
-// paper's summary rows, and Monte-Carlo utilities.
+// paper's summary rows, Monte-Carlo utilities, and the goodness-of-fit
+// statistics (Kolmogorov–Smirnov, Pearson chi-square) that defend the
+// sampling regimes' statistical equivalence.
 //
 // Everything is deterministic given a seed so experiments and tests are
-// exactly reproducible.
+// exactly reproducible. Deviate algorithms are versioned: see
+// SamplerVersion for the v1 (legacy, byte-stable) and v2 (sublinear
+// binomial fault draws, Ziggurat Gaussians, Lemire bounded Intn) regimes.
 package stats
 
 import (
@@ -14,14 +18,23 @@ import (
 
 // RNG is a splitmix64 pseudo-random generator. The zero value is a valid
 // generator seeded with 0; prefer NewRNG for explicit seeding.
+//
+// An RNG samples under one of two regimes (see SamplerVersion): the zero
+// value and NewRNG keep the legacy v1 regime, so every pre-existing deviate
+// stream stays byte-stable; NewRNGSampler and SetSampler opt into the
+// sublinear v2 regime (Ziggurat Gaussians, Lemire Intn, and the
+// Binomial/SampleK fault-draw machinery).
 type RNG struct {
 	state uint64
-	// cached spare Gaussian deviate (Box-Muller generates pairs)
+	// cached spare Gaussian deviate (Box-Muller generates pairs; v1 only)
 	spare    float64
 	hasSpare bool
+	// sampler selects the deviate algorithms; the zero value samples v1.
+	sampler SamplerVersion
 }
 
-// NewRNG returns a generator seeded with seed.
+// NewRNG returns a generator seeded with seed, sampling under the legacy
+// v1 regime (see NewRNGSampler for regime selection).
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Clone returns an independent generator that will produce exactly the same
@@ -47,16 +60,33 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
-// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+// Intn returns a uniform integer in [0,n). It panics if n <= 0. Under the
+// v1 regime it keeps the historical modulo reduction (slightly biased for
+// n not dividing 2^64, preserved for stream stability); under v2 it uses
+// Lemire's bounded rejection, which is exactly uniform.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
+	if r.sampler == SamplerV2 {
+		return int(r.intnLemire(uint64(n)))
+	}
 	return int(r.Uint64() % uint64(n))
 }
 
-// Norm returns a standard-normal deviate using Box-Muller.
+// Norm returns a standard-normal deviate: Box-Muller under the v1 regime,
+// the Ziggurat method under v2 (~4x fewer cycles per deviate in the noise
+// hot path; see the distribution-equivalence tests).
 func (r *RNG) Norm() float64 {
+	if r.sampler == SamplerV2 {
+		return r.normZiggurat()
+	}
+	return r.normBoxMuller()
+}
+
+// normBoxMuller is the legacy polar Box-Muller sampler (generates pairs,
+// caching the spare).
+func (r *RNG) normBoxMuller() float64 {
 	if r.hasSpare {
 		r.hasSpare = false
 		return r.spare
@@ -133,27 +163,59 @@ func GeoMean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It copies and sorts its input.
+// interpolation between closest ranks. It copies and sorts its input; use
+// PercentileSorted on already-sorted data or PercentilesInto when several
+// percentiles come from one sample, both of which skip the per-call copy.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
+	return PercentileSorted(cp, p)
+}
+
+// PercentileSorted is the sorted-input fast path of Percentile: xs must be
+// ascending; the call neither copies nor sorts.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return cp[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return cp[len(cp)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(cp)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return cp[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PercentilesInto computes several percentiles of one sample with a single
+// copy-and-sort, writing out[i] = Percentile(xs, ps[i]). It panics when
+// len(out) < len(ps). The sweeps use it to summarise a Monte-Carlo sample
+// (e.g. p10/p50/p90) without re-sorting per percentile.
+func PercentilesInto(xs []float64, ps []float64, out []float64) {
+	if len(out) < len(ps) {
+		panic("stats: PercentilesInto output shorter than percentile list")
+	}
+	if len(xs) == 0 {
+		for i := range ps {
+			out[i] = 0
+		}
+		return
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for i, p := range ps {
+		out[i] = PercentileSorted(cp, p)
+	}
 }
 
 // MaxAbs returns the maximum absolute value in xs (0 for empty input).

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func init() {
@@ -32,6 +33,12 @@ func newFunctional(cfg *Config) (Backend, error) {
 		return nil, err
 	}
 	return &functional{cfg: *cfg}, nil
+}
+
+// sampler returns the configured sampling regime (v2 unless WithSampler
+// chose otherwise).
+func (f *functional) sampler() stats.SamplerVersion {
+	return f.cfg.Sampler.Resolve()
 }
 
 // Name implements Backend.
@@ -69,7 +76,7 @@ func (f *functional) Evaluate(ctx context.Context, network string) (*EvalResult,
 			return nil, fmt.Errorf("%w: fault injection applies to the \"cnn\" workload, not %q",
 				ErrInvalidOption, network)
 		}
-		r, err := experiments.AnalogMLPAccuracy(ctx, f.seed(defaultMLPSeed), f.cfg.Trials, f.cfg.NoisePS)
+		r, err := experiments.AnalogMLPAccuracy(ctx, f.seed(defaultMLPSeed), f.cfg.Trials, f.cfg.NoisePS, f.sampler())
 		if err != nil {
 			return nil, err
 		}
@@ -77,26 +84,34 @@ func (f *functional) Evaluate(ctx context.Context, network string) (*EvalResult,
 			Float:          r.FloatAcc,
 			Int:            r.IntAcc,
 			Analog:         r.AnalogAcc,
+			AnalogP10:      r.AccP10,
+			AnalogP50:      r.AccP50,
+			AnalogP90:      r.AccP90,
 			LossPP:         r.Loss * 100,
 			CascadeErrorPS: r.CascadeErrorPS,
 			MarginPS:       r.MarginPS,
 			Trials:         r.Trials,
+			Sampler:        r.Sampler.String(),
 		}
 	case "cnn":
 		if f.cfg.IsSet(optNoise) {
 			return nil, fmt.Errorf("%w: timing noise applies to the \"mlp\" workload, not %q",
 				ErrInvalidOption, network)
 		}
-		r, err := experiments.AnalogCNNAccuracy(ctx, f.seed(defaultCNNSeed), f.cfg.Trials, f.cfg.FaultRate)
+		r, err := experiments.AnalogCNNAccuracy(ctx, f.seed(defaultCNNSeed), f.cfg.Trials, f.cfg.FaultRate, f.sampler())
 		if err != nil {
 			return nil, err
 		}
 		out.Accuracy = &AccuracyStats{
-			Int:    r.IntAcc,
-			Analog: r.AnalogAcc,
-			LossPP: (r.IntAcc - r.AnalogAcc) * 100,
-			Faults: r.Faults,
-			Trials: r.Trials,
+			Int:       r.IntAcc,
+			Analog:    r.AnalogAcc,
+			AnalogP10: r.AccP10,
+			AnalogP50: r.AccP50,
+			AnalogP90: r.AccP90,
+			LossPP:    (r.IntAcc - r.AnalogAcc) * 100,
+			Faults:    r.Faults,
+			Trials:    r.Trials,
+			Sampler:   r.Sampler.String(),
 		}
 	default:
 		return nil, fmt.Errorf("%w: %q (the functional backend runs \"mlp\" or \"cnn\")",

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/params"
+	"repro/internal/stats"
 )
 
 // Config is the resolved backend configuration a Factory receives. Fields
@@ -28,6 +29,9 @@ type Config struct {
 	Seed uint64
 	// Trials is the Monte-Carlo repeat count (functional).
 	Trials int
+	// Sampler is the Monte-Carlo sampling regime (functional); v2 by
+	// default, v1 for legacy byte-identical streams.
+	Sampler stats.SamplerVersion
 
 	set map[string]bool
 }
@@ -42,6 +46,7 @@ const (
 	optFaultRate = "fault_rate"
 	optSeed      = "seed"
 	optTrials    = "trials"
+	optSampler   = "sampler"
 )
 
 func (c *Config) mark(key string) {
@@ -73,6 +78,7 @@ func defaultConfig() Config {
 		Chips:   1,
 		NoisePS: params.DefaultXSubBufSigma,
 		Trials:  5,
+		Sampler: stats.SamplerV2,
 	}
 }
 
@@ -175,6 +181,27 @@ func WithTrials(n int) Option {
 		}
 		c.Trials = n
 		c.mark(optTrials)
+		return nil
+	}
+}
+
+// WithSampler selects the functional backend's Monte-Carlo sampling regime
+// by name: "v2" (the default) draws realised fault maps with sublinear
+// O(faults) binomial sampling and circuit noise through a Ziggurat
+// Gaussian; "v1" reproduces the legacy per-cell Bernoulli / Box-Muller
+// deviate streams byte for byte (the regime the original goldens were
+// captured under). The regimes are statistically equivalent — equal seeds
+// give different deviates but the same fault-count and noise
+// distributions — so sweeps are comparable across them; pick v1 only when
+// exact legacy reproducibility matters.
+func WithSampler(version string) Option {
+	return func(c *Config) error {
+		v, err := stats.ParseSamplerVersion(version)
+		if err != nil {
+			return fmt.Errorf("%w: sampler must be \"v1\" or \"v2\", got %q", ErrInvalidOption, version)
+		}
+		c.Sampler = v.Resolve()
+		c.mark(optSampler)
 		return nil
 	}
 }

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWithSamplerValidation(t *testing.T) {
+	for _, bad := range []string{"v3", "V1", "legacy", "2"} {
+		if _, err := Open("functional", WithSampler(bad)); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("WithSampler(%q): err = %v, want ErrInvalidOption", bad, err)
+		}
+	}
+	for _, ok := range []string{"v1", "v2", ""} {
+		if _, err := Open("functional", WithSampler(ok)); err != nil {
+			t.Errorf("WithSampler(%q): unexpected err %v", ok, err)
+		}
+	}
+}
+
+func TestWithSamplerInapplicableToAnalytic(t *testing.T) {
+	for _, backend := range []string{"timely", "prime", "isaac"} {
+		if _, err := Open(backend, WithSampler("v2")); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", backend, err)
+		}
+	}
+}
+
+// TestSamplerRegimesBothEvaluate: the cnn fault study runs under both
+// regimes, the result echoes the regime, defaults to v2, and the two
+// regimes draw different fault maps (different deviate streams) while both
+// staying plausible.
+func TestSamplerRegimesBothEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the synthetic CNN")
+	}
+	ctx := context.Background()
+	res := map[string]*EvalResult{}
+	for _, v := range []string{"v1", "v2"} {
+		b, err := Open("functional", WithTrials(2), WithFaultRate(0.01), WithSampler(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := b.Evaluate(ctx, "cnn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Accuracy == nil || r.Accuracy.Sampler != v {
+			t.Fatalf("sampler %s: result does not echo the regime: %+v", v, r.Accuracy)
+		}
+		if r.Accuracy.Analog <= 0.3 || r.Accuracy.Faults <= 0 {
+			t.Fatalf("sampler %s: implausible result %+v", v, r.Accuracy)
+		}
+		res[v] = r
+	}
+	// Same integer reference (regime-independent training), different
+	// realised fault maps.
+	if res["v1"].Accuracy.Int != res["v2"].Accuracy.Int {
+		t.Errorf("integer reference differs across regimes: %v vs %v",
+			res["v1"].Accuracy.Int, res["v2"].Accuracy.Int)
+	}
+	if res["v1"].Accuracy.Faults == res["v2"].Accuracy.Faults {
+		t.Logf("note: regimes realised identical fault counts (%d); possible but unlikely",
+			res["v1"].Accuracy.Faults)
+	}
+	// The default regime is v2.
+	b, err := Open("functional", WithTrials(2), WithFaultRate(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := b.Evaluate(ctx, "cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Accuracy.Sampler != "v2" {
+		t.Errorf("default sampler = %q, want v2", def.Accuracy.Sampler)
+	}
+	if *def.Accuracy != *res["v2"].Accuracy {
+		t.Errorf("default regime result differs from explicit v2: %+v vs %+v",
+			def.Accuracy, res["v2"].Accuracy)
+	}
+	// Percentile summary: ordered and bracketing the mean.
+	a := def.Accuracy
+	if a.AnalogP10 > a.AnalogP50 || a.AnalogP50 > a.AnalogP90 {
+		t.Errorf("percentile summary out of order: %+v", a)
+	}
+}
+
+// TestEvalRequestSampler: the JSON request form carries the regime, and an
+// invalid spelling fails with the typed option error.
+func TestEvalRequestSampler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the synthetic classifiers")
+	}
+	ctx := context.Background()
+	r, err := Evaluate(ctx, &EvalRequest{Backend: "functional", Network: "mlp", Trials: 2, Sampler: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy == nil || r.Accuracy.Sampler != "v1" {
+		t.Fatalf("request sampler not honoured: %+v", r.Accuracy)
+	}
+	if _, err := Evaluate(ctx, &EvalRequest{Backend: "functional", Network: "mlp", Sampler: "nope"}); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("invalid sampler err = %v, want ErrInvalidOption", err)
+	}
+	if _, err := Evaluate(ctx, &EvalRequest{Backend: "timely", Network: "VGG-D", Sampler: "v2"}); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("sampler on analytic backend err = %v, want ErrInvalidOption", err)
+	}
+}

@@ -141,6 +141,10 @@ type EvalRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Trials is the Monte-Carlo repeat count (functional).
 	Trials int `json:"trials,omitempty"`
+	// Sampler selects the Monte-Carlo sampling regime (functional):
+	// "v2" (default) or "v1" for the legacy byte-identical streams; see
+	// WithSampler.
+	Sampler string `json:"sampler,omitempty"`
 }
 
 // options converts the request's set fields to functional options.
@@ -169,6 +173,9 @@ func (r *EvalRequest) options() []Option {
 	}
 	if r.Trials != 0 {
 		opts = append(opts, WithTrials(r.Trials))
+	}
+	if r.Sampler != "" {
+		opts = append(opts, WithSampler(r.Sampler))
 	}
 	return opts
 }
@@ -199,6 +206,10 @@ type AccuracyStats struct {
 	Int float64 `json:"int"`
 	// Analog is the analog-datapath accuracy averaged over Trials.
 	Analog float64 `json:"analog"`
+	// AnalogP10/P50/P90 summarise the per-trial accuracy spread.
+	AnalogP10 float64 `json:"analog_p10,omitempty"`
+	AnalogP50 float64 `json:"analog_p50,omitempty"`
+	AnalogP90 float64 `json:"analog_p90,omitempty"`
 	// LossPP is Int − Analog in percentage points.
 	LossPP float64 `json:"loss_pp"`
 	// CascadeErrorPS is √12·ε against MarginPS, the DTC design margin
@@ -209,6 +220,8 @@ type AccuracyStats struct {
 	Faults int `json:"faults,omitempty"`
 	// Trials is the Monte-Carlo repeat count.
 	Trials int `json:"trials"`
+	// Sampler is the sampling regime the trials drew under ("v1"/"v2").
+	Sampler string `json:"sampler,omitempty"`
 }
 
 // EvalResult is the JSON-serializable outcome of one evaluation. Analytic
