@@ -35,7 +35,7 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		fault    = fs.Float64("faultrate", 0, "stuck-at cell fraction (functional cnn)")
 		seed     = fs.Uint64("seed", 0, "Monte-Carlo base seed (functional)")
 		trials   = fs.Int("trials", 0, "Monte-Carlo repeats (functional; 0 = default)")
-		sampler  = fs.String("sampler", "", "Monte-Carlo sampling regime: v2 or v1 (functional; empty = backend default v2)")
+		sampler  = fs.String("sampler", "", "Monte-Carlo sampling regime: v3, v2 or v1 (functional; empty = backend default v3)")
 		timeout  = fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
 	)
 	fs.Usage = func() {

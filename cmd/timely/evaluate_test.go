@@ -123,7 +123,7 @@ func TestEvaluateFunctionalBackend(t *testing.T) {
 	if !strings.Contains(out, "analog acc") || !strings.Contains(out, "trials") {
 		t.Errorf("functional output:\n%s", out)
 	}
-	if !strings.Contains(out, "sampler") || !strings.Contains(out, "v2") {
+	if !strings.Contains(out, "sampler") || !strings.Contains(out, "v3") {
 		t.Errorf("default sampler regime missing from output:\n%s", out)
 	}
 	v1 := runOut(t, "evaluate", "-network", "mlp", "-backend", "functional", "-trials", "2", "-noise", "0", "-sampler", "v1")

@@ -19,8 +19,9 @@
 //	-out <dir>              write one file per experiment into dir
 //	-par N                  run N experiments concurrently (default GOMAXPROCS)
 //	-timeout <dur>          abort the run after this long (e.g. 30s; 0 = none)
-//	-sampler v1|v2          Monte-Carlo sampling regime (default v2; v1 keeps
-//	                        the legacy byte-identical deviate streams)
+//	-sampler v1|v2|v3       Monte-Carlo sampling regime (default v3, the
+//	                        counter-based keyed generator; v1/v2 keep the
+//	                        earlier byte-identical deviate streams)
 //	-v                      print a per-experiment timing summary to stderr
 //	-cpuprofile <file>      write a pprof CPU profile of the run
 //	-memprofile <file>      write a pprof heap profile taken after the run
@@ -91,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&opt.outDir, "out", "", "write one file per experiment into this directory")
 	fs.IntVar(&opt.par, "par", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
 	fs.DurationVar(&opt.timeout, "timeout", 0, "abort the run after this long (0 = no timeout)")
-	fs.StringVar(&opt.sampler, "sampler", "v2", "Monte-Carlo sampling regime: v2 (sublinear) or v1 (legacy byte-identical streams)")
+	fs.StringVar(&opt.sampler, "sampler", "v3", "Monte-Carlo sampling regime: v3 (counter-based, parallel-stable), v2 (sublinear) or v1 (legacy byte-identical streams)")
 	fs.BoolVar(&opt.vrbose, "v", false, "print a per-experiment timing summary to stderr")
 	fs.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&opt.memprofile, "memprofile", "", "write a pprof heap profile taken after the run to this file")
@@ -145,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	sampler, err := stats.ParseSamplerVersion(opt.sampler)
 	if err != nil {
-		return fmt.Errorf("unknown sampler %q (want v1 or v2)", opt.sampler)
+		return fmt.Errorf("unknown sampler %q (want v1, v2 or v3)", opt.sampler)
 	}
 	// The worker pool treats any par < 1 as one worker; clamp here so the
 	// timing summary and docs never see a nonsensical value either.
@@ -305,7 +306,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  -out <dir>             write one file per experiment into dir")
 	fmt.Fprintln(w, "  -par N                 concurrent experiments (default GOMAXPROCS)")
 	fmt.Fprintln(w, "  -timeout <dur>         abort the run after this long (0 = none)")
-	fmt.Fprintln(w, "  -sampler v1|v2         Monte-Carlo sampling regime (default v2; v1 = legacy streams)")
+	fmt.Fprintln(w, "  -sampler v1|v2|v3      Monte-Carlo sampling regime (default v3; v1/v2 = earlier streams)")
 	fmt.Fprintln(w, "  -v                     per-experiment timing summary on stderr")
 	fmt.Fprintln(w, "  -cpuprofile <file>     write a pprof CPU profile of the run")
 	fmt.Fprintln(w, "  -memprofile <file>     write a pprof heap profile after the run")

@@ -108,16 +108,16 @@ func TestListAndUnknown(t *testing.T) {
 	}
 }
 
-// TestSamplerFlag: the regime flag validates its spelling, defaults to v2,
+// TestSamplerFlag: the regime flag validates its spelling, defaults to v3,
 // and the analytic experiments are regime-independent (identical bytes
-// under v1 and v2).
+// under every regime).
 func TestSamplerFlag(t *testing.T) {
-	if err := run([]string{"table5", "-sampler", "v3"}, io.Discard, io.Discard); err == nil ||
+	if err := run([]string{"table5", "-sampler", "v9"}, io.Discard, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "sampler") {
 		t.Errorf("unknown sampler accepted (err = %v)", err)
 	}
 	def := runOut(t, "table5")
-	for _, v := range []string{"v1", "v2"} {
+	for _, v := range []string{"v1", "v2", "v3"} {
 		if got := runOut(t, "table5", "-sampler", v); got != def {
 			t.Errorf("analytic experiment bytes changed under -sampler %s", v)
 		}

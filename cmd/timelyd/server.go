@@ -247,8 +247,9 @@ func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 
 // handleExperiment regenerates one paper artifact under the request
 // context and writes it in the negotiated representation. The optional
-// ?sampler=v1|v2 query parameter selects the Monte-Carlo sampling regime
-// (default v2; v1 reproduces the legacy golden byte streams).
+// ?sampler=v1|v2|v3 query parameter selects the Monte-Carlo sampling
+// regime (default v3, the counter-based keyed generator; v1/v2 reproduce
+// the earlier pinned byte streams).
 func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	format, err := pickFormat(r)
 	if err != nil {

@@ -414,7 +414,7 @@ func TestExperimentArtifact(t *testing.T) {
 func TestExperimentSamplerParam(t *testing.T) {
 	ts := testServer(t)
 	_, def, _ := get(t, ts, "/v1/experiments/table5", "")
-	for _, v := range []string{"v1", "v2"} {
+	for _, v := range []string{"v1", "v2", "v3"} {
 		status, body, _ := get(t, ts, "/v1/experiments/table5?sampler="+v, "")
 		if status != http.StatusOK || body != def {
 			t.Errorf("sampler=%s: status %d, bytes changed=%v", v, status, body != def)

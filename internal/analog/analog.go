@@ -46,17 +46,26 @@ func DefaultNoise(seed uint64) *Noise {
 }
 
 // DefaultNoiseSampler is DefaultNoise with an explicit sampling regime for
-// the injection RNG: stats.SamplerV2 (the default regime) draws its
-// Gaussians through the Ziggurat hot path, stats.SamplerV1 reproduces the
-// legacy Box-Muller stream byte for byte. The regime changes the deviate
-// sequence, not its distribution — the accuracy studies are statistically
-// identical under either (see the regime-equivalence tests).
+// the injection RNG: stats.SamplerV2 and the counter-based default v3 draw
+// their Gaussians through the Ziggurat hot path, stats.SamplerV1 reproduces
+// the legacy Box-Muller stream byte for byte. The regime changes the
+// deviate sequence, not its distribution — the accuracy studies are
+// statistically identical under any of them (see the regime-equivalence
+// tests).
 func DefaultNoiseSampler(seed uint64, v stats.SamplerVersion) *Noise {
+	return DefaultNoiseRNG(stats.NewRNGSampler(seed, v))
+}
+
+// DefaultNoiseRNG is the design-point noise configuration driven by a
+// caller-supplied generator. Monte-Carlo studies that key their generators
+// by trial coordinates (stats.NewTrialRNG under the v3 regime) build their
+// per-trial noise through this instead of re-deriving seeds additively.
+func DefaultNoiseRNG(rng *stats.RNG) *Noise {
 	return &Noise{
 		XSubBufSigma:    params.DefaultXSubBufSigma,
 		PSubBufRelSigma: params.DefaultPSubBufRelSigma,
 		ComparatorSigma: params.DefaultComparatorSigma,
-		RNG:             stats.NewRNGSampler(seed, v),
+		RNG:             rng,
 	}
 }
 

@@ -59,11 +59,24 @@ type Options struct {
 // pendingInject records a fault-injection pass deferred on a
 // not-yet-materialised crossbar: the fault map was already counted against
 // the live RNG, and rng is a clone snapshotted before the count so
-// materialisation replays the identical faults.
+// materialisation replays the identical faults. Under the counter-based v3
+// regime the snapshot is the slot's own keyed substream at block 0 rather
+// than a point on the shared serial stream — replay is then independent of
+// the order in which other slots were counted or materialised.
 type pendingInject struct {
 	rate float64
 	rng  *stats.RNG
 }
+
+// Substream lanes of the v3 counter-based regime (see stats.Substream):
+// lane 0 — the main stream — carries the strictly-ordered noise draws of
+// the compute path; stuck-at fault injection and device variation each own
+// a lane whose index keys (pass, grid slot), so per-crossbar draws are
+// independent of slot iteration and materialisation order.
+const (
+	laneFaults    = 1
+	laneVariation = 2
+)
 
 // arena is the per-sub-chip scratch reused across waves: DTC time ladders,
 // pre-scaled inputs, per-crossbar column dots, I-adder contributions and the
@@ -112,6 +125,10 @@ type SubChip struct {
 	irDrop float64
 	// pending holds deferred fault injections per slot (nil when none).
 	pending [][]pendingInject
+	// faultPasses / variationPasses count the completed InjectFaults /
+	// ApplyDeviceVariation passes, so repeated passes under the v3 regime
+	// key fresh substreams instead of replaying the previous pass's draws.
+	faultPasses, variationPasses int
 
 	dtc  analog.DTC
 	tdc  analog.TDC
@@ -177,12 +194,24 @@ func (s *SubChip) Crossbar(row, col int) *reram.Crossbar {
 }
 
 // ApplyDeviceVariation draws per-cell conductance errors on every crossbar.
+// Under the v3 counter-based regime each grid slot draws from its own keyed
+// substream (laneVariation, pass·slots+slot); under v1/v2 the slots consume
+// the shared serial stream in slot order, as they always have.
 func (s *SubChip) ApplyDeviceVariation(sigma float64) {
 	if s.noise == nil || s.noise.RNG == nil {
 		return
 	}
+	rng := s.noise.RNG
+	if rng.Sampler() == stats.SamplerV3 {
+		pass := s.variationPasses
+		s.variationPasses++
+		for i := range s.grid {
+			s.xbar(i).ApplyVariation(sigma, rng.Substream(laneVariation, uint32(pass*len(s.grid)+i)))
+		}
+		return
+	}
 	for i := range s.grid {
-		s.xbar(i).ApplyVariation(sigma, s.noise.RNG)
+		s.xbar(i).ApplyVariation(sigma, rng)
 	}
 }
 
@@ -207,26 +236,44 @@ func (s *SubChip) ApplyIRDrop(alpha float64) {
 // identical random sequence is consumed either way — and the physical
 // injection is replayed from an RNG snapshot if the crossbar is touched
 // later, so the returned fault map and all downstream results match an
-// eager injection exactly. The count/replay contract holds under both
-// sampling regimes: the RNG snapshot carries its regime, and
+// eager injection exactly. The count/replay contract holds under every
+// sampling regime: the RNG snapshot carries its regime, and
 // reram.CountStuckFaults consumes exactly the stream InjectStuckFaults
 // replays — O(cells) per crossbar under v1, one binomial count draw plus
-// O(faults) position/polarity draws under v2 (the sublinear defect-sweep
-// hot path).
+// O(faults) position/polarity draws under v2/v3 (the sublinear
+// defect-sweep hot path).
+//
+// The regimes differ in where the draws come from. Under v1/v2 every slot
+// consumes the shared serial noise stream in slot order, so the snapshot is
+// a point on that stream. Under the counter-based v3 regime each slot owns
+// the keyed substream (laneFaults, pass·slots+slot) of the study's
+// (seed, trial) coordinates: no slot's draws depend on any other slot's,
+// the main noise stream is not advanced at all, and the realised fault map
+// of any crossbar is computable independently — the property that makes
+// trial-parallel runs byte-stable at any worker count.
 func (s *SubChip) InjectFaults(rate float64) (reram.FaultMap, error) {
 	if s.noise == nil || s.noise.RNG == nil {
 		return reram.FaultMap{}, fmt.Errorf("core: fault injection needs Options.Noise with an RNG")
+	}
+	rng := s.noise.RNG
+	slotRNG := func(i int) *stats.RNG { return rng }
+	if rng.Sampler() == stats.SamplerV3 {
+		pass := s.faultPasses
+		slotRNG = func(i int) *stats.RNG {
+			return rng.Substream(laneFaults, uint32(pass*len(s.grid)+i))
+		}
 	}
 	var total reram.FaultMap
 	cells := s.cfg.B * s.cfg.B
 	for i := range s.grid {
 		var fm reram.FaultMap
 		var err error
+		r := slotRNG(i)
 		if s.grid[i] != nil {
-			fm, err = s.grid[i].InjectStuckFaults(rate, s.noise.RNG)
+			fm, err = s.grid[i].InjectStuckFaults(rate, r)
 		} else {
-			snap := s.noise.RNG.Clone()
-			fm, err = reram.CountStuckFaults(cells, rate, s.noise.RNG)
+			snap := r.Clone()
+			fm, err = reram.CountStuckFaults(cells, rate, r)
 			if err == nil {
 				if s.pending == nil {
 					s.pending = make([][]pendingInject, len(s.grid))
@@ -240,6 +287,7 @@ func (s *SubChip) InjectFaults(rate float64) (reram.FaultMap, error) {
 		total.SA0 += fm.SA0
 		total.SA1 += fm.SA1
 	}
+	s.faultPasses++
 	return total, nil
 }
 

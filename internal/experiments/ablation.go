@@ -67,9 +67,12 @@ type DefectPoint struct {
 // defect-aware retraining or remapping is applied, so this is the
 // unprotected floor the rescue literature improves on). The fault maps
 // draw under the given sampling regime: v1 spends one deviate per cell of
-// the 16×12 crossbar grid (~12.6M per draw), v2 one binomial count per
+// the 16×12 crossbar grid (~12.6M per draw), v2/v3 one binomial count per
 // crossbar plus O(faults) position draws — the sublinear hot path the
-// sweep's wall-clock floor collapsed onto.
+// sweep's wall-clock floor collapsed onto. Under v3 each draw's generator
+// is keyed by its (seed, draw) coordinates and each crossbar by its grid
+// slot, so the sweep is byte-stable at any worker count by construction
+// rather than by careful stream ordering.
 func DefectSweep(ctx context.Context, seed uint64, rates []float64, sampler stats.SamplerVersion) ([]DefectPoint, error) {
 	sampler = sampler.Resolve()
 	tc, err := defectCNN(seed)
@@ -89,7 +92,7 @@ func DefectSweep(ctx context.Context, seed uint64, rates []float64, sampler stat
 	err = parallelEach(ctx, len(units), func(i int) error {
 		rate, d := rates[i/draws], i%draws
 		a, err := cnn.MapAnalog(core.Options{
-			Noise:         &analog.Noise{RNG: stats.NewRNGSampler(seed+uint64(d)*101+1, sampler)},
+			Noise:         &analog.Noise{RNG: trialRNG(seed, d, seed+uint64(d)*101+1, sampler)},
 			InterfaceBits: 24,
 		}, rate)
 		if err != nil {
@@ -160,7 +163,7 @@ func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate f
 	units := make([]unit, trials)
 	err = parallelEach(ctx, trials, func(d int) error {
 		a, err := cnn.MapAnalog(core.Options{
-			Noise:         &analog.Noise{RNG: stats.NewRNGSampler(seed+uint64(d)*101+1, sampler)},
+			Noise:         &analog.Noise{RNG: trialRNG(seed, d, seed+uint64(d)*101+1, sampler)},
 			InterfaceBits: 24,
 		}, faultRate)
 		if err != nil {

@@ -43,7 +43,8 @@ type NoiseSweepPoint struct {
 // RunAccuracy trains the synthetic classifier (memoized per seed, shared
 // with RunNoiseSweep), quantises it to TIMELY's 8-bit datapath and measures
 // the analog accuracy at the paper's design-point noise, drawing under the
-// given sampling regime (stats.SamplerDefault resolves to v2).
+// given sampling regime (stats.SamplerDefault resolves to the counter-based
+// v3).
 func RunAccuracy(ctx context.Context, seed uint64, trials int, sampler stats.SamplerVersion) (*AccuracyResult, error) {
 	return AnalogMLPAccuracy(ctx, seed, trials, params.DefaultXSubBufSigma, sampler)
 }
@@ -51,10 +52,12 @@ func RunAccuracy(ctx context.Context, seed uint64, trials int, sampler stats.Sam
 // AnalogMLPAccuracy is the generalized §VI-B accuracy study behind the
 // public sim facade: the design-point methodology of RunAccuracy at an
 // arbitrary per-X-subBuf error epsPS (in ps). Each Monte-Carlo trial draws
-// its noise RNG from the trial index under the given sampling regime, so
-// results are deterministic per (seed, trials, epsPS, sampler) at any
-// worker count; at the design-point epsilon it is byte-for-byte
-// RunAccuracy. The trained classifier itself is regime-independent
+// its noise RNG from the trial index under the given sampling regime
+// (keyed trial substreams under the counter-based v3 default, additive
+// seed derivation under v1/v2 — see trialRNG), so results are
+// deterministic per (seed, trials, epsPS, sampler) at any worker count; at
+// the design-point epsilon it is byte-for-byte RunAccuracy. The trained
+// classifier itself is regime-independent
 // (training draws stay on the legacy stream), so FloatAcc/IntAcc — and the
 // noise distribution, though not its exact deviates — are identical across
 // regimes.
@@ -80,7 +83,7 @@ func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float
 	// the worker budget and reduce in trial order.
 	accs := make([]float64, trials)
 	err = parallelEach(ctx, trials, func(trial int) error {
-		noise := analog.DefaultNoiseSampler(seed+uint64(trial)*7919, sampler)
+		noise := analog.DefaultNoiseRNG(trialRNG(seed, trial, seed+uint64(trial)*7919, sampler))
 		noise.XSubBufSigma = epsPS
 		a, err := q.MapAnalog(core.Options{
 			Noise:         noise,

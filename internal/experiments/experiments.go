@@ -23,10 +23,10 @@ import (
 // experiment's Run function: configuration that is not part of the
 // experiment's identity but changes how its Monte-Carlo work draws.
 type Env struct {
-	// Sampler is the resolved Monte-Carlo sampling regime (SamplerV1 or
-	// SamplerV2; never SamplerDefault). It governs the noise/defect
-	// studies' deviate streams — see the "Sampling regimes" section of
-	// DESIGN.md. Analytic experiments ignore it.
+	// Sampler is the resolved Monte-Carlo sampling regime (SamplerV1,
+	// SamplerV2 or SamplerV3; never SamplerDefault). It governs the
+	// noise/defect studies' deviate streams — see the "Sampling regimes"
+	// section of DESIGN.md. Analytic experiments ignore it.
 	Sampler stats.SamplerVersion
 }
 
@@ -46,8 +46,8 @@ type Experiment struct {
 	Run func(ctx context.Context, env Env) ([]*report.Table, error)
 }
 
-// Render runs the experiment under the default environment (sampler v2)
-// and writes its tables as aligned text.
+// Render runs the experiment under the default environment (the
+// counter-based sampler v3) and writes its tables as aligned text.
 func (e Experiment) Render(ctx context.Context, w io.Writer) error {
 	tables, err := e.Run(ctx, Env{Sampler: stats.SamplerDefault.Resolve()})
 	if err != nil {
@@ -129,8 +129,9 @@ type Options struct {
 	// Par is the worker-goroutine count; values < 1 run one worker.
 	Par int
 	// Sampler selects the Monte-Carlo sampling regime of the noise/defect
-	// studies; stats.SamplerDefault (the zero value) resolves to v2. Pass
-	// stats.SamplerV1 to reproduce the legacy golden byte streams.
+	// studies; stats.SamplerDefault (the zero value) resolves to the
+	// counter-based v3. Pass stats.SamplerV1 or SamplerV2 to reproduce the
+	// earlier pinned byte streams.
 	Sampler stats.SamplerVersion
 }
 
@@ -246,7 +247,7 @@ func WriteJSON(w io.Writer, results []Result) error {
 }
 
 // RunAll renders every registered experiment in ID order on one worker
-// under the default sampling regime (v2) — the classic serial harness
+// under the default sampling regime (v3) — the classic serial harness
 // entry point. cmd/timely uses Run directly to control parallelism,
 // cancellation and the regime.
 func RunAll(w io.Writer) error {

@@ -40,9 +40,9 @@ func runGolden(t *testing.T, sampler stats.SamplerVersion, file string) {
 }
 
 // TestAccuracyAblationGolden locks the text artifacts of the two
-// Monte-Carlo-heavy experiments byte-for-byte under the default sampler-v2
-// regime. Regenerate (only after an intentional modelling or regime
-// change) with:
+// Monte-Carlo-heavy experiments byte-for-byte under the default regime
+// (the counter-based sampler v3). Regenerate (only after an intentional
+// modelling or regime change) with:
 //
 //	go run ./cmd/timely accuracy ablation -par 1 \
 //	    > internal/experiments/testdata/accuracy_ablation.golden
@@ -55,7 +55,7 @@ func TestAccuracyAblationGolden(t *testing.T) {
 
 // TestAccuracyAblationGoldenV1 locks the legacy v1 regime against the
 // golden captured before the batched/flat-kernel datapath landed (PR 2)
-// and untouched since: the sampler-v2 work must never change a single v1
+// and untouched since: no later sampler work may change a single v1
 // output byte. Regenerate with:
 //
 //	go run ./cmd/timely accuracy ablation -par 1 -sampler v1 \
@@ -65,4 +65,18 @@ func TestAccuracyAblationGoldenV1(t *testing.T) {
 		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
 	}
 	runGolden(t, stats.SamplerV1, "accuracy_ablation_v1.golden")
+}
+
+// TestAccuracyAblationGoldenV2 locks the sublinear v2 regime against the
+// golden captured while v2 was the default (PR 5, before the counter-based
+// v3 took over): selecting -sampler v2 must reproduce those bytes forever.
+// Regenerate with:
+//
+//	go run ./cmd/timely accuracy ablation -par 1 -sampler v2 \
+//	    > internal/experiments/testdata/accuracy_ablation_v2.golden
+func TestAccuracyAblationGoldenV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run re-trains the accuracy workloads; skipped in -short")
+	}
+	runGolden(t, stats.SamplerV2, "accuracy_ablation_v2.golden")
 }

@@ -9,10 +9,10 @@ import (
 	"repro/internal/stats"
 )
 
-// samplerBenchRegimes are the two sampling regimes every Monte-Carlo
+// samplerBenchRegimes are the sampling regimes every Monte-Carlo
 // benchmark below runs under, so the bench output is a per-regime cost
 // comparison (the CI bench-smoke step uploads it as an artifact).
-var samplerBenchRegimes = []stats.SamplerVersion{stats.SamplerV1, stats.SamplerV2}
+var samplerBenchRegimes = []stats.SamplerVersion{stats.SamplerV1, stats.SamplerV2, stats.SamplerV3}
 
 // BenchmarkAccuracyTrial measures one Monte-Carlo trial of the §VI-B
 // accuracy study under each sampling regime: mapping the memoized
@@ -50,8 +50,10 @@ func BenchmarkAccuracyTrial(b *testing.B) {
 // drawn at mapping time, deterministic batched evaluation — at the
 // ablation's low-rate points under each sampling regime. The v1 regime
 // spends one deviate per cell of the 16×12 crossbar grid (~12.6M per
-// trial) regardless of rate; v2 spends one binomial draw per crossbar
-// plus O(faults), collapsing the draw cost at low rates.
+// trial) regardless of rate; v2 and the counter-based v3 spend one
+// binomial draw per crossbar plus O(faults), collapsing the draw cost at
+// low rates (v3 additionally pays one Philox block per ~2 deviates
+// instead of one splitmix round per deviate).
 func BenchmarkDefectTrial(b *testing.B) {
 	tc, err := defectCNN(5)
 	if err != nil {

@@ -1,0 +1,18 @@
+package experiments
+
+import "repro/internal/stats"
+
+// trialRNG derives the noise generator of one Monte-Carlo trial. Under the
+// counter-based v3 regime the generator is keyed directly by the study's
+// (seed, trial) coordinates — stats.NewTrialRNG — so any trial's stream is
+// computable independently of the others and the fan-out across the worker
+// pool is byte-stable at any parallelism by construction. The v1/v2 regimes
+// keep their historical additive seed derivations (legacySeed varies per
+// study: seed+trial·7919 for the MLP accuracy trials, seed+draw·101+1 for
+// the CNN defect draws) so their golden-pinned outputs stay byte-identical.
+func trialRNG(seed uint64, trial int, legacySeed uint64, sampler stats.SamplerVersion) *stats.RNG {
+	if sampler == stats.SamplerV3 {
+		return stats.NewTrialRNG(seed, uint32(trial))
+	}
+	return stats.NewRNGSampler(legacySeed, sampler)
+}

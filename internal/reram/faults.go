@@ -50,19 +50,22 @@ func (f FaultMap) Total() int { return f.SA0 + f.SA1 }
 //
 // The draw algorithm follows the generator's sampling regime. Under the
 // legacy v1 regime the sequence is exactly one uniform deviate per cell
-// plus one more per faulted cell — O(cells) per injection. Under the v2
-// regime the realised fault count comes from one exact Binomial(cells,
-// rate) draw and the positions from Floyd's sampling without replacement —
-// O(faults) per injection, the sublinear hot path of the defect sweep.
-// Either way CountStuckFaults consumes the identical sequence, which lets
-// callers defer the array mutation and replay it later from a cloned
-// generator.
+// plus one more per faulted cell — O(cells) per injection. Under the
+// v2/v3 regimes the realised fault count comes from one exact
+// Binomial(cells, rate) draw and the positions from Floyd's sampling
+// without replacement — O(faults) per injection, the sublinear hot path of
+// the defect sweep. (v3 additionally keys the generator itself per
+// (seed, trial, grid slot) — see package core — so which crossbar a
+// generator belongs to is part of its identity, not its position in a
+// serial stream.) Either way CountStuckFaults consumes the identical
+// sequence, which lets callers defer the array mutation and replay it
+// later from a cloned generator.
 func (x *Crossbar) InjectStuckFaults(rate float64, rng *stats.RNG) (FaultMap, error) {
 	if rate < 0 || rate > 1 {
 		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
 	}
 	x.invalidate()
-	if rng.Sampler() == stats.SamplerV2 {
+	if rng.Sampler() != stats.SamplerV1 {
 		return x.injectStuckFaultsV2(rate, rng), nil
 	}
 	var fm FaultMap
@@ -138,13 +141,13 @@ func (x *Crossbar) injectStuckFaultsV2(rate float64, rng *stats.RNG) FaultMap {
 // crossbar is materialised (replayed from a generator clone snapshotted
 // before this call). Like the injection itself, the draw algorithm — and
 // therefore the cost, O(cells) under v1 vs O(faults) under v2 — follows
-// the generator's sampling regime.
+// the generator's sampling regime (v2 and v3 share the sublinear path).
 func CountStuckFaults(n int, rate float64, rng *stats.RNG) (FaultMap, error) {
 	if rate < 0 || rate > 1 {
 		return FaultMap{}, fmt.Errorf("reram: fault rate %v outside [0,1]", rate)
 	}
 	var fm FaultMap
-	if rng.Sampler() == stats.SamplerV2 {
+	if rng.Sampler() != stats.SamplerV1 {
 		// Identical consumption to injectStuckFaultsV2: the binomial count,
 		// k position draws (Floyd's consumes exactly one bounded deviate
 		// per selection regardless of collisions), and k polarity draws in

@@ -19,31 +19,40 @@ import (
 //     draw followed by Floyd's sampling without replacement for fault
 //     positions (O(faults) per crossbar), Ziggurat Gaussians in the noise
 //     hot path, and Lemire bounded-rejection Intn (no modulo bias).
+//   - SamplerV3 is the counter-based regime: the v2 deviate algorithms over
+//     a Philox4x32-10 bit source whose substreams are keyed by
+//     (seed, trial, grid slot) instead of split from one serial stream, so
+//     any trial — and any crossbar's fault draws within a trial — is
+//     computable independently with byte-stable results at any parallelism
+//     (see philox.go, NewTrialRNG, Substream).
 //
-// Both regimes are statistically equivalent (the distributional tests in
+// All regimes are statistically equivalent (the distributional tests in
 // this package and in internal/reram defend that); they differ only in
-// cost and in the exact deviate stream. SamplerDefault resolves to v2.
+// cost and in the exact deviate stream. SamplerDefault resolves to v3.
 type SamplerVersion uint8
 
 const (
-	// SamplerDefault resolves to the package default regime (currently v2).
+	// SamplerDefault resolves to the package default regime (currently v3).
 	SamplerDefault SamplerVersion = iota
 	// SamplerV1 is the legacy per-cell Bernoulli / Box-Muller regime.
 	SamplerV1
 	// SamplerV2 is the sublinear binomial / Ziggurat regime.
 	SamplerV2
+	// SamplerV3 is the counter-based Philox substream regime.
+	SamplerV3
 )
 
-// Resolve maps SamplerDefault to the concrete default regime (v2) and
+// Resolve maps SamplerDefault to the concrete default regime (v3) and
 // returns every explicit version unchanged.
 func (v SamplerVersion) Resolve() SamplerVersion {
 	if v == SamplerDefault {
-		return SamplerV2
+		return SamplerV3
 	}
 	return v
 }
 
-// String returns "v1" or "v2" ("default" for the unresolved zero value).
+// String returns "v1", "v2" or "v3" ("default" for the unresolved zero
+// value).
 func (v SamplerVersion) String() string {
 	switch v {
 	case SamplerDefault:
@@ -52,12 +61,14 @@ func (v SamplerVersion) String() string {
 		return "v1"
 	case SamplerV2:
 		return "v2"
+	case SamplerV3:
+		return "v3"
 	}
 	return fmt.Sprintf("sampler(%d)", uint8(v))
 }
 
 // ParseSamplerVersion parses the CLI/API spelling of a sampling regime:
-// "v1", "v2", or "" for the default.
+// "v1", "v2", "v3", or "" for the default.
 func ParseSamplerVersion(s string) (SamplerVersion, error) {
 	switch s {
 	case "":
@@ -66,32 +77,50 @@ func ParseSamplerVersion(s string) (SamplerVersion, error) {
 		return SamplerV1, nil
 	case "v2":
 		return SamplerV2, nil
+	case "v3":
+		return SamplerV3, nil
 	}
-	return 0, fmt.Errorf("stats: unknown sampler version %q (want v1 or v2)", s)
+	return 0, fmt.Errorf("stats: unknown sampler version %q (want v1, v2 or v3)", s)
 }
 
 // NewRNGSampler returns a generator seeded with seed that samples under the
-// given regime (SamplerDefault resolves to v2). NewRNG and the RNG zero
+// given regime (SamplerDefault resolves to v3; a v3 generator is the
+// trial-0 main stream, NewTrialRNG(seed, 0)). NewRNG and the RNG zero
 // value keep the legacy v1 regime so existing deviate streams stay
 // byte-stable.
 func NewRNGSampler(seed uint64, v SamplerVersion) *RNG {
+	if v.Resolve() == SamplerV3 {
+		return NewTrialRNG(seed, 0)
+	}
 	return &RNG{state: seed, sampler: v.Resolve()}
 }
 
 // SetSampler switches the generator's sampling regime in place
-// (SamplerDefault resolves to v2). It returns the receiver for chaining.
-// Switching regimes mid-stream is allowed — the uniform bit stream is
-// shared; only the derived-deviate algorithms change.
+// (SamplerDefault resolves to v3). It returns the receiver for chaining.
+// Switching between v1 and v2 mid-stream is allowed — their uniform bit
+// stream is shared; only the derived-deviate algorithms change. Switching
+// into or out of v3 re-keys the generator (the splitmix64 state becomes
+// the Philox seed or vice versa, at trial 0, stream 0, block 0), because
+// the two bit sources have no shared position.
 func (r *RNG) SetSampler(v SamplerVersion) *RNG {
-	r.sampler = v.Resolve()
+	v = v.Resolve()
+	switch {
+	case v == r.sampler:
+	case v == SamplerV3:
+		r.philoxInit(r.state, 0, 0)
+	case r.sampler == SamplerV3:
+		*r = RNG{state: uint64(r.key[0]) | uint64(r.key[1])<<32, sampler: v}
+	default:
+		r.sampler = v
+	}
 	return r
 }
 
 // Sampler reports the generator's sampling regime (SamplerV1 for the zero
 // value and NewRNG-built generators).
 func (r *RNG) Sampler() SamplerVersion {
-	if r.sampler == SamplerV2 {
-		return SamplerV2
+	if r.sampler >= SamplerV2 {
+		return r.sampler
 	}
 	return SamplerV1
 }

@@ -15,6 +15,7 @@ func TestSamplerVersionParseAndResolve(t *testing.T) {
 		{"", SamplerDefault},
 		{"v1", SamplerV1},
 		{"v2", SamplerV2},
+		{"v3", SamplerV3},
 	}
 	for _, c := range cases {
 		got, err := ParseSamplerVersion(c.in)
@@ -22,21 +23,22 @@ func TestSamplerVersionParseAndResolve(t *testing.T) {
 			t.Errorf("ParseSamplerVersion(%q) = %v, %v; want %v", c.in, got, err, c.want)
 		}
 	}
-	if _, err := ParseSamplerVersion("v3"); err == nil {
-		t.Error("ParseSamplerVersion(v3) succeeded; want error")
+	if _, err := ParseSamplerVersion("v4"); err == nil {
+		t.Error("ParseSamplerVersion(v4) succeeded; want error")
 	}
-	if SamplerDefault.Resolve() != SamplerV2 {
-		t.Errorf("SamplerDefault resolves to %v; want v2", SamplerDefault.Resolve())
+	if SamplerDefault.Resolve() != SamplerV3 {
+		t.Errorf("SamplerDefault resolves to %v; want v3", SamplerDefault.Resolve())
 	}
-	if SamplerV1.Resolve() != SamplerV1 || SamplerV2.Resolve() != SamplerV2 {
+	if SamplerV1.Resolve() != SamplerV1 || SamplerV2.Resolve() != SamplerV2 ||
+		SamplerV3.Resolve() != SamplerV3 {
 		t.Error("explicit versions must resolve to themselves")
 	}
 	var zero RNG
 	if zero.Sampler() != SamplerV1 {
 		t.Errorf("zero-value RNG samples %v; want v1", zero.Sampler())
 	}
-	if NewRNGSampler(1, SamplerDefault).Sampler() != SamplerV2 {
-		t.Error("NewRNGSampler(SamplerDefault) must resolve to v2")
+	if NewRNGSampler(1, SamplerDefault).Sampler() != SamplerV3 {
+		t.Error("NewRNGSampler(SamplerDefault) must resolve to v3")
 	}
 }
 
@@ -570,6 +572,47 @@ func BenchmarkBinomialLowRate(b *testing.B) {
 	s := 0
 	for i := 0; i < b.N; i++ {
 		s += r.Binomial(65536, 0.001)
+	}
+	_ = s
+}
+
+// BenchmarkUint64 isolates the raw bit-source cost the regimes pay under
+// every deviate: one splitmix64 round per word (v1/v2) vs one ten-round
+// Philox4x32 block per two words (v3).
+func BenchmarkUint64(b *testing.B) {
+	for _, v := range []SamplerVersion{SamplerV1, SamplerV3} {
+		b.Run("sampler="+v.String(), func(b *testing.B) {
+			r := NewRNGSampler(1, v)
+			var s uint64
+			for i := 0; i < b.N; i++ {
+				s += r.Uint64()
+			}
+			_ = s
+		})
+	}
+}
+
+// BenchmarkNormPhilox measures the v3 Gaussian hot path: Ziggurat deviates
+// fed by the counter-based bit source (compare BenchmarkNormZiggurat for
+// the same algorithm on splitmix64 bits).
+func BenchmarkNormPhilox(b *testing.B) {
+	r := NewTrialRNG(1, 0)
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += r.Norm()
+	}
+	_ = s
+}
+
+// BenchmarkSubstream measures keying one (lane, index) substream off a
+// trial generator — the per-slot setup cost the v3 fault/variation passes
+// pay instead of sharing one serial stream.
+func BenchmarkSubstream(b *testing.B) {
+	r := NewTrialRNG(1, 0)
+	b.ReportAllocs()
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += r.Substream(1, uint32(i%1024)).Uint64()
 	}
 	_ = s
 }

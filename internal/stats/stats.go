@@ -1,14 +1,16 @@
 // Package stats provides the deterministic random-number generation and
-// small statistics helpers used across the simulator: a splitmix64 PRNG,
-// Gaussian sampling for circuit-noise injection, geometric means for the
-// paper's summary rows, Monte-Carlo utilities, and the goodness-of-fit
-// statistics (Kolmogorov–Smirnov, Pearson chi-square) that defend the
-// sampling regimes' statistical equivalence.
+// small statistics helpers used across the simulator: splitmix64 and
+// Philox4x32-10 PRNGs, Gaussian sampling for circuit-noise injection,
+// geometric means for the paper's summary rows, Monte-Carlo utilities, and
+// the goodness-of-fit statistics (Kolmogorov–Smirnov, Pearson chi-square)
+// that defend the sampling regimes' statistical equivalence.
 //
 // Everything is deterministic given a seed so experiments and tests are
 // exactly reproducible. Deviate algorithms are versioned: see
-// SamplerVersion for the v1 (legacy, byte-stable) and v2 (sublinear
-// binomial fault draws, Ziggurat Gaussians, Lemire bounded Intn) regimes.
+// SamplerVersion for the v1 (legacy, byte-stable), v2 (sublinear binomial
+// fault draws, Ziggurat Gaussians, Lemire bounded Intn) and v3
+// (counter-based Philox substreams keyed by (seed, trial, slot), the
+// trial-parallel default) regimes.
 package stats
 
 import (
@@ -16,20 +18,30 @@ import (
 	"sort"
 )
 
-// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// RNG is a deterministic pseudo-random generator. The zero value is a valid
 // generator seeded with 0; prefer NewRNG for explicit seeding.
 //
-// An RNG samples under one of two regimes (see SamplerVersion): the zero
+// An RNG samples under one of three regimes (see SamplerVersion): the zero
 // value and NewRNG keep the legacy v1 regime, so every pre-existing deviate
 // stream stays byte-stable; NewRNGSampler and SetSampler opt into the
 // sublinear v2 regime (Ziggurat Gaussians, Lemire Intn, and the
-// Binomial/SampleK fault-draw machinery).
+// Binomial/SampleK fault-draw machinery) or the counter-based v3 regime
+// (the v2 deviate algorithms over a Philox4x32-10 bit source with keyed
+// substreams; see philox.go, NewTrialRNG and Substream).
 type RNG struct {
+	// state is the splitmix64 state (v1/v2 bit source).
 	state uint64
+	// key/ctr are the Philox key and 128-bit counter (v3 bit source); buf
+	// holds the not-yet-served uint64s of the current block (bufn of them).
+	key  [2]uint32
+	ctr  [4]uint32
+	buf  [2]uint64
+	bufn uint8
 	// cached spare Gaussian deviate (Box-Muller generates pairs; v1 only)
 	spare    float64
 	hasSpare bool
-	// sampler selects the deviate algorithms; the zero value samples v1.
+	// sampler selects the bit source and deviate algorithms; the zero value
+	// samples v1.
 	sampler SamplerVersion
 }
 
@@ -46,8 +58,12 @@ func (r *RNG) Clone() *RNG {
 	return &cp
 }
 
-// Uint64 returns the next 64 pseudo-random bits.
+// Uint64 returns the next 64 pseudo-random bits: the splitmix64 stream
+// under v1/v2, the Philox4x32-10 counter stream under v3.
 func (r *RNG) Uint64() uint64 {
+	if r.sampler == SamplerV3 {
+		return r.philoxNext()
+	}
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -62,23 +78,23 @@ func (r *RNG) Float64() float64 {
 
 // Intn returns a uniform integer in [0,n). It panics if n <= 0. Under the
 // v1 regime it keeps the historical modulo reduction (slightly biased for
-// n not dividing 2^64, preserved for stream stability); under v2 it uses
-// Lemire's bounded rejection, which is exactly uniform.
+// n not dividing 2^64, preserved for stream stability); under v2/v3 it
+// uses Lemire's bounded rejection, which is exactly uniform.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	if r.sampler == SamplerV2 {
+	if r.sampler >= SamplerV2 {
 		return int(r.intnLemire(uint64(n)))
 	}
 	return int(r.Uint64() % uint64(n))
 }
 
 // Norm returns a standard-normal deviate: Box-Muller under the v1 regime,
-// the Ziggurat method under v2 (~4x fewer cycles per deviate in the noise
-// hot path; see the distribution-equivalence tests).
+// the Ziggurat method under v2/v3 (~4x fewer cycles per deviate in the
+// noise hot path; see the distribution-equivalence tests).
 func (r *RNG) Norm() float64 {
-	if r.sampler == SamplerV2 {
+	if r.sampler >= SamplerV2 {
 		return r.normZiggurat()
 	}
 	return r.normBoxMuller()

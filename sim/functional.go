@@ -35,8 +35,8 @@ func newFunctional(cfg *Config) (Backend, error) {
 	return &functional{cfg: *cfg}, nil
 }
 
-// sampler returns the configured sampling regime (v2 unless WithSampler
-// chose otherwise).
+// sampler returns the configured sampling regime (the counter-based v3
+// unless WithSampler chose otherwise).
 func (f *functional) sampler() stats.SamplerVersion {
 	return f.cfg.Sampler.Resolve()
 }

@@ -29,8 +29,9 @@ type Config struct {
 	Seed uint64
 	// Trials is the Monte-Carlo repeat count (functional).
 	Trials int
-	// Sampler is the Monte-Carlo sampling regime (functional); v2 by
-	// default, v1 for legacy byte-identical streams.
+	// Sampler is the Monte-Carlo sampling regime (functional); the
+	// counter-based v3 by default, v1/v2 for the earlier byte-pinned
+	// streams.
 	Sampler stats.SamplerVersion
 
 	set map[string]bool
@@ -78,7 +79,7 @@ func defaultConfig() Config {
 		Chips:   1,
 		NoisePS: params.DefaultXSubBufSigma,
 		Trials:  5,
-		Sampler: stats.SamplerV2,
+		Sampler: stats.SamplerV3,
 	}
 }
 
@@ -186,19 +187,22 @@ func WithTrials(n int) Option {
 }
 
 // WithSampler selects the functional backend's Monte-Carlo sampling regime
-// by name: "v2" (the default) draws realised fault maps with sublinear
-// O(faults) binomial sampling and circuit noise through a Ziggurat
-// Gaussian; "v1" reproduces the legacy per-cell Bernoulli / Box-Muller
-// deviate streams byte for byte (the regime the original goldens were
-// captured under). The regimes are statistically equivalent — equal seeds
-// give different deviates but the same fault-count and noise
-// distributions — so sweeps are comparable across them; pick v1 only when
-// exact legacy reproducibility matters.
+// by name: "v3" (the default) keys a counter-based Philox generator by the
+// study's (seed, trial, grid slot) coordinates, so every trial's stream is
+// independently computable and results are byte-stable at any worker
+// count; "v2" draws realised fault maps with sublinear O(faults) binomial
+// sampling and circuit noise through a Ziggurat Gaussian from serial
+// splitmix streams; "v1" reproduces the legacy per-cell Bernoulli /
+// Box-Muller deviate streams byte for byte (the regime the original
+// goldens were captured under). The regimes are statistically equivalent —
+// equal seeds give different deviates but the same fault-count and noise
+// distributions — so sweeps are comparable across them; pick v1/v2 only
+// when exact reproducibility of their pinned streams matters.
 func WithSampler(version string) Option {
 	return func(c *Config) error {
 		v, err := stats.ParseSamplerVersion(version)
 		if err != nil {
-			return fmt.Errorf("%w: sampler must be \"v1\" or \"v2\", got %q", ErrInvalidOption, version)
+			return fmt.Errorf("%w: sampler must be \"v1\", \"v2\" or \"v3\", got %q", ErrInvalidOption, version)
 		}
 		c.Sampler = v.Resolve()
 		c.mark(optSampler)

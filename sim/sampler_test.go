@@ -7,12 +7,12 @@ import (
 )
 
 func TestWithSamplerValidation(t *testing.T) {
-	for _, bad := range []string{"v3", "V1", "legacy", "2"} {
+	for _, bad := range []string{"v4", "V1", "legacy", "2"} {
 		if _, err := Open("functional", WithSampler(bad)); !errors.Is(err, ErrInvalidOption) {
 			t.Errorf("WithSampler(%q): err = %v, want ErrInvalidOption", bad, err)
 		}
 	}
-	for _, ok := range []string{"v1", "v2", ""} {
+	for _, ok := range []string{"v1", "v2", "v3", ""} {
 		if _, err := Open("functional", WithSampler(ok)); err != nil {
 			t.Errorf("WithSampler(%q): unexpected err %v", ok, err)
 		}
@@ -27,17 +27,17 @@ func TestWithSamplerInapplicableToAnalytic(t *testing.T) {
 	}
 }
 
-// TestSamplerRegimesBothEvaluate: the cnn fault study runs under both
-// regimes, the result echoes the regime, defaults to v2, and the two
-// regimes draw different fault maps (different deviate streams) while both
-// staying plausible.
+// TestSamplerRegimesBothEvaluate: the cnn fault study runs under every
+// regime, the result echoes the regime, defaults to v3, and the regimes
+// draw different fault maps (different deviate streams) while all staying
+// plausible.
 func TestSamplerRegimesBothEvaluate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains the synthetic CNN")
 	}
 	ctx := context.Background()
 	res := map[string]*EvalResult{}
-	for _, v := range []string{"v1", "v2"} {
+	for _, v := range []string{"v1", "v2", "v3"} {
 		b, err := Open("functional", WithTrials(2), WithFaultRate(0.01), WithSampler(v))
 		if err != nil {
 			t.Fatal(err)
@@ -56,15 +56,17 @@ func TestSamplerRegimesBothEvaluate(t *testing.T) {
 	}
 	// Same integer reference (regime-independent training), different
 	// realised fault maps.
-	if res["v1"].Accuracy.Int != res["v2"].Accuracy.Int {
-		t.Errorf("integer reference differs across regimes: %v vs %v",
-			res["v1"].Accuracy.Int, res["v2"].Accuracy.Int)
+	for _, v := range []string{"v2", "v3"} {
+		if res["v1"].Accuracy.Int != res[v].Accuracy.Int {
+			t.Errorf("integer reference differs across regimes v1/%s: %v vs %v",
+				v, res["v1"].Accuracy.Int, res[v].Accuracy.Int)
+		}
 	}
-	if res["v1"].Accuracy.Faults == res["v2"].Accuracy.Faults {
-		t.Logf("note: regimes realised identical fault counts (%d); possible but unlikely",
+	if res["v1"].Accuracy.Faults == res["v2"].Accuracy.Faults && res["v2"].Accuracy.Faults == res["v3"].Accuracy.Faults {
+		t.Logf("note: all regimes realised identical fault counts (%d); possible but unlikely",
 			res["v1"].Accuracy.Faults)
 	}
-	// The default regime is v2.
+	// The default regime is v3.
 	b, err := Open("functional", WithTrials(2), WithFaultRate(0.01))
 	if err != nil {
 		t.Fatal(err)
@@ -73,12 +75,12 @@ func TestSamplerRegimesBothEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def.Accuracy.Sampler != "v2" {
-		t.Errorf("default sampler = %q, want v2", def.Accuracy.Sampler)
+	if def.Accuracy.Sampler != "v3" {
+		t.Errorf("default sampler = %q, want v3", def.Accuracy.Sampler)
 	}
-	if *def.Accuracy != *res["v2"].Accuracy {
-		t.Errorf("default regime result differs from explicit v2: %+v vs %+v",
-			def.Accuracy, res["v2"].Accuracy)
+	if *def.Accuracy != *res["v3"].Accuracy {
+		t.Errorf("default regime result differs from explicit v3: %+v vs %+v",
+			def.Accuracy, res["v3"].Accuracy)
 	}
 	// Percentile summary: ordered and bracketing the mean.
 	a := def.Accuracy

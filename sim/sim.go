@@ -142,8 +142,8 @@ type EvalRequest struct {
 	// Trials is the Monte-Carlo repeat count (functional).
 	Trials int `json:"trials,omitempty"`
 	// Sampler selects the Monte-Carlo sampling regime (functional):
-	// "v2" (default) or "v1" for the legacy byte-identical streams; see
-	// WithSampler.
+	// "v3" (the counter-based default), or "v1"/"v2" for the earlier
+	// byte-pinned streams; see WithSampler.
 	Sampler string `json:"sampler,omitempty"`
 }
 
@@ -220,7 +220,8 @@ type AccuracyStats struct {
 	Faults int `json:"faults,omitempty"`
 	// Trials is the Monte-Carlo repeat count.
 	Trials int `json:"trials"`
-	// Sampler is the sampling regime the trials drew under ("v1"/"v2").
+	// Sampler is the sampling regime the trials drew under
+	// ("v1"/"v2"/"v3").
 	Sampler string `json:"sampler,omitempty"`
 }
 
