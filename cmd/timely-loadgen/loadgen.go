@@ -1,0 +1,321 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Config drives one load-generation run against a timelyd instance.
+type Config struct {
+	// URL is the service base, e.g. http://127.0.0.1:8080.
+	URL string
+	// Method, Path and Body describe the request to repeat. A non-empty
+	// Body is sent as application/json.
+	Method string
+	Path   string
+	Body   string
+	// RPS is the target request schedule (open loop: the dispatcher
+	// ticks at this rate and DROPS ticks when every worker is busy, so a
+	// slow server shows up as dropped offers, not a silently lower rate).
+	RPS float64
+	// Concurrency is the number of in-flight requests allowed at once.
+	Concurrency int
+	// Duration bounds the offered-load window; in-flight requests are
+	// still drained to completion afterwards.
+	Duration time.Duration
+	// MaxRetries bounds retries of shed (429/503) responses per logical
+	// request. Retries honor the server's Retry-After header, capped at
+	// MaxBackoff; without the header they back off exponentially from
+	// Backoff.
+	MaxRetries int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Client overrides the HTTP client (tests); nil uses a default with
+	// a per-attempt timeout.
+	Client *http.Client
+}
+
+func (c *Config) fillDefaults() error {
+	if c.URL == "" {
+		return errors.New("loadgen: URL is required")
+	}
+	if c.RPS <= 0 {
+		return fmt.Errorf("loadgen: rps must be > 0 (got %g)", c.RPS)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be > 0 (got %s)", c.Duration)
+	}
+	if c.Method == "" {
+		c.Method = http.MethodPost
+	}
+	if c.Path == "" {
+		c.Path = "/v1/evaluate"
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 1
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// LatencySummary summarises end-to-end latencies (including retry
+// backoff) of successful logical requests, in milliseconds.
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Report is the machine-readable outcome of one run — the service-level
+// benchmark every fleet PR moves. Attempt-level counters (Attempts, Shed,
+// Retries, StatusCounts) see every HTTP exchange; logical counters (Sent,
+// OK, Failed) see one entry per scheduled request.
+type Report struct {
+	Target      string  `json:"target"`
+	RPSTarget   float64 `json:"rps_target"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+
+	Sent    int64 `json:"sent"`
+	Dropped int64 `json:"dropped"`
+	OK      int64 `json:"ok"`
+	Failed  int64 `json:"failed"`
+
+	Attempts     int64 `json:"attempts"`
+	Shed         int64 `json:"shed"`
+	Retries      int64 `json:"retries"`
+	ServerErrors int64 `json:"server_errors"`
+	ClientErrors int64 `json:"client_errors"`
+	Transport    int64 `json:"transport_errors"`
+
+	ThroughputRPS float64          `json:"throughput_rps"`
+	ShedRate      float64          `json:"shed_rate"`
+	StatusCounts  map[string]int64 `json:"status_counts"`
+	Latency       LatencySummary   `json:"latency"`
+}
+
+// collector accumulates worker results under one lock; the hot path is
+// the HTTP exchange, so a mutex is plenty.
+type collector struct {
+	mu        sync.Mutex
+	report    Report
+	latencies []float64 // ms, successful logical requests
+}
+
+func (c *collector) status(code int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.report.StatusCounts == nil {
+		c.report.StatusCounts = map[string]int64{}
+	}
+	c.report.StatusCounts[strconv.Itoa(code)]++
+}
+
+// Run executes the configured load against the service and returns the
+// aggregated report. ctx cancellation stops the run early (the report
+// covers what was sent).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	target := strings.TrimRight(cfg.URL, "/") + cfg.Path
+	col := &collector{}
+	col.report.Target = cfg.Method + " " + target
+	col.report.RPSTarget = cfg.RPS
+	col.report.Concurrency = cfg.Concurrency
+
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				oneRequest(ctx, &cfg, target, col)
+			}
+		}()
+	}
+
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(cfg.Duration)
+schedule:
+	for {
+		select {
+		case <-ctx.Done():
+			break schedule
+		case <-deadline.C:
+			break schedule
+		case <-ticker.C:
+			select {
+			case jobs <- struct{}{}:
+				col.mu.Lock()
+				col.report.Sent++
+				col.mu.Unlock()
+			default:
+				// Every worker is busy: the offered load exceeds what the
+				// client can carry. Count it instead of queueing client-side.
+				col.mu.Lock()
+				col.report.Dropped++
+				col.mu.Unlock()
+			}
+		}
+	}
+	ticker.Stop()
+	deadline.Stop()
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := &col.report
+	r.DurationS = elapsed.Seconds()
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(r.OK) / elapsed.Seconds()
+	}
+	if r.Attempts > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Attempts)
+	}
+	if n := len(col.latencies); n > 0 {
+		sort.Float64s(col.latencies)
+		r.Latency.P50Ms = stats.PercentileSorted(col.latencies, 0.50)
+		r.Latency.P95Ms = stats.PercentileSorted(col.latencies, 0.95)
+		r.Latency.P99Ms = stats.PercentileSorted(col.latencies, 0.99)
+		r.Latency.MaxMs = col.latencies[n-1]
+		var sum float64
+		for _, v := range col.latencies {
+			sum += v
+		}
+		r.Latency.MeanMs = sum / float64(n)
+	}
+	return r, nil
+}
+
+// oneRequest executes one logical request: the initial attempt plus up to
+// MaxRetries retries of shed responses, with Retry-After-aware backoff.
+func oneRequest(ctx context.Context, cfg *Config, target string, col *collector) {
+	start := time.Now()
+	backoff := cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		code, retryAfter, err := oneAttempt(ctx, cfg, target)
+		col.mu.Lock()
+		col.report.Attempts++
+		col.mu.Unlock()
+
+		if err != nil {
+			col.mu.Lock()
+			col.report.Transport++
+			col.report.Failed++
+			col.mu.Unlock()
+			return
+		}
+		col.status(code)
+		switch {
+		case code >= 200 && code < 300:
+			col.mu.Lock()
+			col.report.OK++
+			col.latencies = append(col.latencies,
+				float64(time.Since(start))/float64(time.Millisecond))
+			col.mu.Unlock()
+			return
+		case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+			col.mu.Lock()
+			col.report.Shed++
+			col.mu.Unlock()
+			if attempt >= cfg.MaxRetries {
+				col.mu.Lock()
+				col.report.Failed++
+				col.mu.Unlock()
+				return
+			}
+			// The server's Retry-After hint wins over the local schedule;
+			// both are capped so a hostile hint cannot stall the harness.
+			wait := backoff
+			if retryAfter > 0 {
+				wait = retryAfter
+			}
+			if wait > cfg.MaxBackoff {
+				wait = cfg.MaxBackoff
+			}
+			col.mu.Lock()
+			col.report.Retries++
+			col.mu.Unlock()
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+			backoff *= 2
+			if backoff > cfg.MaxBackoff {
+				backoff = cfg.MaxBackoff
+			}
+		case code >= 500:
+			col.mu.Lock()
+			col.report.ServerErrors++
+			col.report.Failed++
+			col.mu.Unlock()
+			return
+		default:
+			col.mu.Lock()
+			col.report.ClientErrors++
+			col.report.Failed++
+			col.mu.Unlock()
+			return
+		}
+	}
+}
+
+// oneAttempt issues a single HTTP exchange and returns the status code
+// plus any Retry-After hint (0 when absent or unparseable).
+func oneAttempt(ctx context.Context, cfg *Config, target string) (int, time.Duration, error) {
+	var body io.Reader
+	if cfg.Body != "" {
+		body = strings.NewReader(cfg.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, cfg.Method, target, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if cfg.Body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}

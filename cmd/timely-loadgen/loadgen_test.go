@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/evaluate" {
+			t.Errorf("got %s %s", r.Method, r.URL.Path)
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	report, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		RPS:         200,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 {
+		t.Fatal("sent no requests")
+	}
+	if report.OK != report.Sent || report.Failed != 0 {
+		t.Errorf("OK=%d Failed=%d Sent=%d, want all OK", report.OK, report.Failed, report.Sent)
+	}
+	if report.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %g", report.ThroughputRPS)
+	}
+	if report.Latency.P50Ms <= 0 || report.Latency.P99Ms < report.Latency.P50Ms {
+		t.Errorf("latency summary = %+v", report.Latency)
+	}
+	if report.StatusCounts["200"] != report.Sent {
+		t.Errorf("status counts = %v", report.StatusCounts)
+	}
+	// The report is the service-level benchmark artifact: it must
+	// round-trip as JSON.
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OK != report.OK {
+		t.Errorf("round trip lost OK: %d != %d", back.OK, report.OK)
+	}
+}
+
+// TestRetryHonorsRetryAfter: every odd attempt sheds with a Retry-After
+// hint; the harness must retry (counting shed + retry) and land every
+// logical request, waiting at least the (capped) hint before retrying.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1") // capped to MaxBackoff below
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	// One worker keeps the attempt order sequential, so the alternating
+	// schedule is exactly "shed first attempt, serve the retry".
+	report, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		RPS:         50,
+		Concurrency: 1,
+		Duration:    200 * time.Millisecond,
+		MaxRetries:  3,
+		Backoff:     5 * time.Millisecond,
+		MaxBackoff:  25 * time.Millisecond,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 || report.OK != report.Sent {
+		t.Fatalf("sent=%d ok=%d, want every logical request to land after retry", report.Sent, report.OK)
+	}
+	if report.Shed == 0 || report.Retries != report.Shed {
+		t.Errorf("shed=%d retries=%d, want equal and > 0", report.Shed, report.Retries)
+	}
+	if report.StatusCounts["429"] == 0 || report.StatusCounts["200"] == 0 {
+		t.Errorf("status counts = %v", report.StatusCounts)
+	}
+	if report.ShedRate <= 0 || report.ShedRate >= 1 {
+		t.Errorf("shed rate = %g, want in (0,1)", report.ShedRate)
+	}
+	// Retried requests waited for the capped Retry-After (25ms, not 1s).
+	if report.Latency.MaxMs < 25 {
+		t.Errorf("max latency %.1fms — backoff wait seems skipped", report.Latency.MaxMs)
+	}
+	if report.Latency.MaxMs > 900 {
+		t.Errorf("max latency %.1fms — Retry-After cap ignored", report.Latency.MaxMs)
+	}
+}
+
+func TestServerErrorsAreNotRetried(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	report, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		RPS:         100,
+		Concurrency: 2,
+		Duration:    150 * time.Millisecond,
+		MaxRetries:  5,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 || report.Failed != report.Sent || report.OK != 0 {
+		t.Errorf("sent=%d failed=%d ok=%d, want every request failed", report.Sent, report.Failed, report.OK)
+	}
+	if report.Retries != 0 {
+		t.Errorf("retries = %d, want 0 — 500s are not retryable", report.Retries)
+	}
+	if got := n.Load(); got != report.Sent {
+		t.Errorf("server saw %d attempts for %d logical requests", got, report.Sent)
+	}
+}
+
+func TestOpenLoopDropsWhenSaturated(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(80 * time.Millisecond)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	report, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		RPS:         200,
+		Concurrency: 1, // one slow worker cannot carry 200 rps
+		Duration:    250 * time.Millisecond,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Dropped == 0 {
+		t.Errorf("dropped = 0; open-loop accounting should record unservable offers (report %+v)", report)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                        // no URL
+		{URL: "http://x", RPS: 0}, // no rate
+		{URL: "http://x", RPS: 5}, // no duration
+		{URL: "http://x", RPS: -1, Duration: time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

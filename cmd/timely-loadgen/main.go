@@ -1,0 +1,90 @@
+// Command timely-loadgen drives a running timelyd at a configurable
+// request rate and reports the service-level numbers every fleet PR is
+// judged by: achieved throughput, shed rate, retry counts and p50/p95/p99
+// client latency, as one JSON document.
+//
+// The schedule is open-loop: a dispatcher ticks at -rps and offers each
+// tick to a pool of -concurrency workers; when every worker is busy the
+// offer is DROPPED and counted, so server slowness shows up as dropped
+// offers rather than silently shrinking the offered rate. Shed responses
+// (429/503) are retried up to -retries times with exponential backoff,
+// honoring the server's Retry-After header (capped at -max-backoff).
+//
+// Usage:
+//
+//	timely-loadgen -url http://127.0.0.1:8080 -rps 20 -concurrency 8 -duration 10s
+//	timely-loadgen -path /v1/experiments/table5 -method GET -body '' -rps 5
+//
+// Flags:
+//
+//	-url <base>          service base URL (default http://127.0.0.1:8080)
+//	-path <path>         request path (default /v1/evaluate)
+//	-method <verb>       HTTP method (default POST)
+//	-body <json>         request body (default a small analytic evaluate)
+//	-rps <n>             offered request rate (default 20)
+//	-concurrency <n>     max in-flight requests (default 8)
+//	-duration <dur>      offered-load window (default 10s)
+//	-retries <n>         max retries per shed request (default 3)
+//	-backoff <dur>       initial retry backoff (default 100ms)
+//	-max-backoff <dur>   backoff/Retry-After cap (default 2s)
+//	-request-timeout <d> per-attempt HTTP timeout (default 30s)
+//	-out <file>          write the JSON report here (default stdout)
+//
+// The exit status is 0 whenever the run completes, even with a 100% shed
+// rate — judging the numbers is the caller's job.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "service base URL")
+	path := flag.String("path", "/v1/evaluate", "request path")
+	method := flag.String("method", http.MethodPost, "HTTP method")
+	body := flag.String("body", `{"backend":"timely","network":"CNN-1","chips":2}`, "request body (sent as application/json when non-empty)")
+	rps := flag.Float64("rps", 20, "offered request rate per second")
+	concurrency := flag.Int("concurrency", 8, "max in-flight requests")
+	duration := flag.Duration("duration", 10*time.Second, "offered-load window")
+	retries := flag.Int("retries", 3, "max retries per shed (429/503) request")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff")
+	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "cap on backoff and honored Retry-After")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	report, err := Run(context.Background(), Config{
+		URL:         *url,
+		Method:      *method,
+		Path:        *path,
+		Body:        *body,
+		RPS:         *rps,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		MaxRetries:  *retries,
+		Backoff:     *backoff,
+		MaxBackoff:  *maxBackoff,
+		Client:      &http.Client{Timeout: *reqTimeout},
+	})
+	if err != nil {
+		log.Fatalf("timely-loadgen: %v", err)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("timely-loadgen: encoding report: %v", err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("timely-loadgen: %v", err)
+	}
+}

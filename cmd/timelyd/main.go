@@ -3,7 +3,9 @@
 //
 // Endpoints:
 //
-//	GET  /healthz               liveness, backend and experiment inventory
+//	GET  /healthz               pure liveness, backend and experiment inventory
+//	GET  /readyz                routability: 503 while draining or saturated
+//	GET  /metricz               service counters (admission, shed, deadline, panics)
 //	POST /v1/evaluate           run one sim.EvalRequest, returns sim.EvalResult
 //	POST /v1/networks           validate + register a custom network spec
 //	GET  /v1/networks           list zoo and registered custom networks
@@ -14,26 +16,43 @@
 // previously registered custom network — or an inline declarative spec
 // under "spec" (sim.NetworkSpec: name, input dims, conv/fc/pool layers),
 // which is compiled, validated and evaluated in one call. POST bodies must
-// be application/json (415 otherwise) and at most 1 MiB (413 otherwise).
+// be application/json (415 otherwise), at most 1 MiB (413 otherwise), and
+// exactly one JSON value (400 on trailing content).
 //
 // The experiment endpoints negotiate their representation: JSON for
 // Accept: application/json, CSV for Accept: text/csv, aligned text
 // otherwise; a ?format=text|csv|json query parameter overrides. Errors are
-// JSON bodies of the form {"error": "..."}.
+// JSON bodies of the form {"error": "...", "phase": "queue"|"compute"}.
+//
+// Robustness model (see DESIGN.md "Service robustness"): compute
+// endpoints (/v1/evaluate, /v1/experiments/{id}) pass a bounded admission
+// queue — at most -max-concurrent requests compute at once, at most
+// -queue-depth wait, nobody waits longer than -queue-wait — and shed with
+// 429/503 plus a Retry-After header beyond that. Each compute class has a
+// deadline budget (-evaluate-timeout, -timeout) covering queue wait AND
+// compute; the error body's "phase" says where the time died. Cheap
+// endpoints (health/ready/metrics, indexes, registration) bypass the
+// queue so liveness never waits behind compute. Handler panics become
+// logged 500s, not process crashes. The -chaos flag injects deterministic
+// per-route latency/errors/panics for rehearsing all of the above
+// (rule syntax: route=/v1/evaluate,latency=50ms,error=3,panic=7).
 //
 // Flags:
 //
-//	-addr <host:port>   listen address (default :8080)
-//	-par N              worker budget per experiment request (default GOMAXPROCS)
-//	-timeout <dur>      per-request compute budget (default 2m; 0 = none)
+//	-addr <host:port>        listen address (default :8080)
+//	-par N                   worker budget per experiment request (default GOMAXPROCS)
+//	-timeout <dur>           experiment deadline class (default 2m; 0 = none)
+//	-evaluate-timeout <dur>  evaluate deadline class (default 30s; 0 = none)
+//	-max-concurrent N        compute slots (default -par)
+//	-queue-depth N           bounded wait queue (default 8×max-concurrent)
+//	-queue-wait <dur>        max time queued before shedding (default 10s)
+//	-chaos <spec>            deterministic fault injection (default off)
 //
-// Every request's computation runs under the request context plus -timeout:
-// a disconnecting client or an expired budget cancels the in-flight
-// evaluation between work units. Identical heavy inputs (benchmark
-// networks, baseline evaluations, trained classifiers) are memoized
-// process-wide, so concurrent requests for the same artifact compute it
-// once. The process drains in-flight requests on SIGINT/SIGTERM before
-// exiting (graceful shutdown, 10 s grace).
+// Identical heavy inputs (benchmark networks, baseline evaluations,
+// trained classifiers) are memoized process-wide, so concurrent requests
+// for the same artifact compute it once. On SIGINT/SIGTERM the process
+// drains: /readyz flips to 503, new compute requests shed, and in-flight
+// requests get a 10 s grace period to finish.
 package main
 
 import (
@@ -47,15 +66,34 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "worker budget per experiment request")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-request compute budget (0 = none)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "experiment deadline class: queue wait + compute (0 = none)")
+	evalTimeout := flag.Duration("evaluate-timeout", 30*time.Second, "evaluate deadline class: queue wait + compute (0 = none)")
+	maxConc := flag.Int("max-concurrent", 0, "compute requests admitted at once (default -par)")
+	queueDepth := flag.Int("queue-depth", 0, "compute requests queued beyond that before 429s (default 8x max-concurrent)")
+	queueWait := flag.Duration("queue-wait", 10*time.Second, "max time a request may queue before shedding with 503")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection rules, e.g. route=/v1/evaluate,latency=50ms,error=3,panic=7")
 	flag.Parse()
 
-	srv := newServer(*par, *timeout)
+	chaos, err := serve.ParseChaos(*chaosSpec)
+	if err != nil {
+		log.Fatalf("timelyd: %v", err)
+	}
+	srv := newServer(serverConfig{
+		Par:               *par,
+		EvaluateTimeout:   *evalTimeout,
+		ExperimentTimeout: *timeout,
+		MaxConcurrent:     *maxConc,
+		QueueDepth:        *queueDepth,
+		MaxQueueWait:      *queueWait,
+		Chaos:             chaos,
+	})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -67,7 +105,10 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("timelyd: listening on %s (par=%d, timeout=%s)", *addr, srv.par, srv.timeout)
+	conc, depth := srv.limiter.Capacity()
+	log.Printf("timelyd: listening on %s (par=%d, max-concurrent=%d, queue-depth=%d, queue-wait=%s, timeout=%s, evaluate-timeout=%s, chaos=%s)",
+		*addr, srv.cfg.Par, conc, depth, srv.cfg.MaxQueueWait,
+		srv.cfg.ExperimentTimeout, srv.cfg.EvaluateTimeout, chaos)
 
 	select {
 	case err := <-errc:
@@ -76,6 +117,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
+		// Drain: readiness goes 503 so balancers route away, new compute
+		// requests shed immediately, in-flight ones get the grace period.
+		srv.StartDrain()
 		log.Printf("timelyd: signal received, draining in-flight requests")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

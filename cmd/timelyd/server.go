@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"mime"
 	"net/http"
 	"strings"
@@ -12,40 +15,116 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/sim"
 )
 
+// serverConfig sizes the robustness substrate around the request handler.
+// The zero value of any field falls back to a sane default in newServer.
+type serverConfig struct {
+	// Par is the inner worker budget one experiment request may use.
+	Par int
+	// EvaluateTimeout is the deadline class for analytic evaluations
+	// (POST /v1/evaluate): cheap closed-form work. 0 = unbounded.
+	EvaluateTimeout time.Duration
+	// ExperimentTimeout is the deadline class for artifact regeneration
+	// (GET /v1/experiments/{id}): Monte-Carlo heavy. 0 = unbounded.
+	ExperimentTimeout time.Duration
+	// MaxConcurrent bounds compute requests holding workers at once;
+	// defaults to Par (the limiter is sized off -par/GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds compute requests waiting for a slot; beyond it
+	// requests shed with 429. 0 means the default (8×MaxConcurrent);
+	// negative means no queue at all (busy slots shed immediately).
+	QueueDepth int
+	// MaxQueueWait bounds how long one request may wait for a slot
+	// before shedding with 503.
+	MaxQueueWait time.Duration
+	// Chaos optionally injects per-route latency/errors/panics (tests
+	// and the -chaos flag).
+	Chaos *serve.Chaos
+	// Logger receives access lines, panic stacks and encode failures;
+	// nil means log.Default().
+	Logger *log.Logger
+}
+
+func (c *serverConfig) fillDefaults() {
+	if c.Par < 1 {
+		c.Par = 1
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = c.Par
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 8 * c.MaxConcurrent
+	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
 // server is the timelyd request handler. All of its state is read-only
-// after construction, so one instance serves concurrent requests; the
-// heavy shared inputs behind it (benchmark networks, analytic baselines,
-// trained classifiers) live in sync.Once-keyed caches that compute each
-// value exactly once regardless of request concurrency.
+// after construction except the atomic admission/drain state in the
+// limiter and the metric counters; one instance serves concurrent
+// requests. The heavy shared inputs behind it (benchmark networks,
+// analytic baselines, trained classifiers) live in sync.Once-keyed caches
+// that compute each value exactly once regardless of request concurrency.
 type server struct {
-	mux *http.ServeMux
-	// par is the inner worker budget one experiment request may use.
-	par int
-	// timeout bounds each request's compute; 0 means request-context only.
-	timeout time.Duration
+	cfg     serverConfig
+	mux     *http.ServeMux
+	handler http.Handler // the composed middleware chain
+	limiter *serve.Limiter
+	metrics *serve.Metrics
+	logger  *log.Logger
 	started time.Time
 }
 
-func newServer(par int, timeout time.Duration) *server {
-	if par < 1 {
-		par = 1
-	}
+// newServer wires the handler chain:
+//
+//	AccessLog → Recover → mux → [compute: Admit → Chaos → handler]
+//	                          → [cheap:           Chaos → handler]
+//
+// Cheap endpoints (/healthz, /readyz, /metricz, the network and
+// experiment indexes, network registration) never queue behind compute,
+// so liveness and inventory stay responsive under full load. Compute
+// endpoints (/v1/evaluate, /v1/experiments/{id}) pass admission control
+// with their own deadline class. Chaos sits innermost so injected latency
+// occupies a real concurrency slot and injected panics exercise the real
+// recovery path.
+func newServer(cfg serverConfig) *server {
+	cfg.fillDefaults()
 	s := &server{
+		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		par:     par,
-		timeout: timeout,
+		limiter: serve.NewLimiter(cfg.MaxConcurrent, cfg.QueueDepth, cfg.MaxQueueWait),
+		metrics: &serve.Metrics{},
+		logger:  cfg.Logger,
 		started: time.Now(),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("POST /v1/networks", s.handleRegisterNetwork)
-	s.mux.HandleFunc("GET /v1/networks", s.handleNetworkIndex)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
-	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	cheap := func(h http.HandlerFunc) http.Handler {
+		return cfg.Chaos.Wrap(h)
+	}
+	compute := func(class serve.Class, h http.HandlerFunc) http.Handler {
+		return serve.Admit(s.limiter, class, s.metrics, s.logger, cfg.Chaos.Wrap(h))
+	}
+	evalClass := serve.Class{Name: "evaluate", Timeout: cfg.EvaluateTimeout}
+	expClass := serve.Class{Name: "experiment", Timeout: cfg.ExperimentTimeout}
+
+	s.mux.Handle("GET /healthz", cheap(s.handleHealthz))
+	s.mux.Handle("GET /readyz", cheap(s.handleReadyz))
+	s.mux.Handle("GET /metricz", cheap(s.handleMetricz))
+	s.mux.Handle("POST /v1/networks", cheap(s.handleRegisterNetwork))
+	s.mux.Handle("GET /v1/networks", cheap(s.handleNetworkIndex))
+	s.mux.Handle("GET /v1/experiments", cheap(s.handleExperimentIndex))
+	s.mux.Handle("POST /v1/evaluate", compute(evalClass, s.handleEvaluate))
+	s.mux.Handle("GET /v1/experiments/{id}", compute(expClass, s.handleExperiment))
+
+	s.handler = serve.AccessLog(s.logger, s.metrics,
+		serve.Recover(s.logger, s.metrics, s.mux))
 	return s
 }
 
@@ -53,27 +132,46 @@ func newServer(par int, timeout time.Duration) *server {
 const maxRequestBody = 1 << 20
 
 // ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// requestContext derives the compute context for one request: the client's
-// context (cancelled on disconnect) bounded by the server's budget.
-func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.timeout <= 0 {
-		return r.Context(), func() {}
-	}
-	return context.WithTimeout(r.Context(), s.timeout)
+// StartDrain flips the server into drain mode: /readyz goes 503 so
+// balancers stop routing here, and new compute requests shed immediately
+// while in-flight ones finish under the HTTP server's graceful Shutdown.
+func (s *server) StartDrain() { s.limiter.StartDrain() }
+
+// writeError emits the uniform JSON error body (no phase, no Retry-After
+// — admission failures are written by the serve middleware instead).
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	serve.WriteError(w, s.logger, status, "", 0, err)
 }
 
-// writeError emits the uniform JSON error body.
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// writeComputeError maps a computation error onto the wire and the
+// access-log outcome. A deadline that expired mid-compute carries
+// phase=compute in the body, completing the queue-vs-compute story the
+// admission middleware starts. A cancelled client gets no body (nobody is
+// listening); AccessLog books it as 499/client_gone, NOT as a shed or a
+// server error, so overload accounting stays honest.
+func (s *server) writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) {
+		serve.MarkOutcome(r.Context(), "client_gone")
+		return
+	}
+	phase := ""
+	if errors.Is(err, context.DeadlineExceeded) {
+		phase = "compute"
+		s.metrics.ComputeDeadline.Add(1)
+		serve.MarkOutcome(r.Context(), "compute_deadline")
+	} else {
+		serve.MarkOutcome(r.Context(), "error")
+	}
+	serve.WriteError(w, s.logger, errorStatus(err), phase, 0, err)
 }
 
 // errorStatus maps a computation error to its HTTP status: typed facade
 // errors are the client's fault, context expiry is a timeout, anything
-// else is ours.
+// else is ours. context.Canceled only reaches a response when the client
+// already disconnected; writeComputeError suppresses the body and the
+// access log records 499 instead.
 func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, sim.ErrUnknownBackend),
@@ -88,18 +186,21 @@ func errorStatus(err error) int {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		// The client is gone; the status is for the access log.
-		return http.StatusServiceUnavailable
+		return serve.StatusClientGone
 	}
 	return http.StatusInternalServerError
 }
 
-// writeJSON emits v as an indented JSON response.
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON emits v as an indented JSON response. Encode failures are
+// logged: the 200 header is committed by then, so the log line is the
+// only place the failure can surface.
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil && s.logger != nil {
+		s.logger.Printf("timelyd: encoding response: %v", err)
+	}
 }
 
 // pickFormat negotiates the representation of the experiment endpoints:
@@ -134,9 +235,12 @@ func contentType(format string) string {
 	return "text/plain; charset=utf-8"
 }
 
-// handleHealthz reports liveness plus the served inventory.
+// handleHealthz reports pure liveness plus the served inventory. It stays
+// 200 under overload and during drain — "the process is up" — so
+// orchestrators do not kill a pod that is merely busy; routing decisions
+// belong to /readyz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"status":      "ok",
 		"uptime_s":    time.Since(s.started).Seconds(),
 		"backends":    sim.Backends(),
@@ -144,15 +248,56 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz reports routability: 503 while draining (the balancer must
+// stop sending traffic so Shutdown can finish) and 503 when the admission
+// queue is saturated (new compute requests would only bounce). The body
+// always carries the live queue picture.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	conc, depth := s.limiter.Capacity()
+	body := map[string]any{
+		"in_flight":      s.limiter.InFlight(),
+		"queued":         s.limiter.Queued(),
+		"max_concurrent": conc,
+		"queue_depth":    depth,
+	}
+	switch {
+	case s.limiter.Draining():
+		body["status"] = "draining"
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case s.limiter.Saturated():
+		body["status"] = "overloaded"
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	default:
+		body["status"] = "ready"
+	}
+	s.writeJSON(w, body)
+}
+
+// handleMetricz exposes the service counters as JSON (admission, shed,
+// deadline, panic, client-gone, queue-wait totals) plus the live limiter
+// gauges — the numbers the loadgen harness correlates its client-side
+// report against.
+func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap["in_flight"] = s.limiter.InFlight()
+	snap["queued"] = s.limiter.Queued()
+	snap["shed_total"] = s.metrics.Shed()
+	s.writeJSON(w, snap)
+}
+
 // decodeJSON enforces the POST body contract shared by every mutation
 // endpoint: a JSON media type (415 otherwise), a body bounded by
-// maxRequestBody (413 when exceeded), and strict field checking (400 on
-// unknown fields or malformed JSON). It writes the error response itself
-// and reports whether decoding succeeded.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+// maxRequestBody (413 when exceeded), strict field checking (400 on
+// unknown fields or malformed JSON), and exactly ONE JSON value — content
+// after the first value (a second object, stray tokens) is a 400, not
+// silently ignored. It writes the error response itself and reports
+// whether decoding succeeded.
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
-		writeError(w, http.StatusUnsupportedMediaType,
+		s.writeError(w, http.StatusUnsupportedMediaType,
 			fmt.Errorf("content type %q is not supported; send application/json", ct))
 		return false
 	}
@@ -161,11 +306,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	// The body must be exactly one JSON value: a second Decode must hit
+	// clean EOF, else the request smuggled trailing content past the
+	// strict field check.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("decoding request body: unexpected content after the JSON value"))
 		return false
 	}
 	return true
@@ -173,44 +326,44 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // handleEvaluate decodes one sim.EvalRequest — naming a zoo or registered
 // network, or carrying an inline network spec — and runs it through the
-// public facade under the request context.
+// public facade under the admitted request context (deadline class
+// "evaluate", minus any queue wait).
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req sim.EvalRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	res, err := sim.Evaluate(ctx, &req)
+	res, err := sim.Evaluate(r.Context(), &req)
 	if err != nil {
-		writeError(w, errorStatus(err), err)
+		s.writeComputeError(w, r, err)
 		return
 	}
-	writeJSON(w, res)
+	s.writeJSON(w, res)
 }
 
 // handleRegisterNetwork validates the posted network spec and registers it
 // process-wide, so later /v1/evaluate requests can reference it by name.
 // The response summarises the compiled network (layer count, MACs, params)
 // and its canonical spec hash. Registration is idempotent for an identical
-// spec; a name conflict is 409, an invalid spec 400.
+// spec; a name conflict is 409, an invalid spec 400. Validation is pure
+// shape inference — cheap — so this endpoint skips admission control.
 func (s *server) handleRegisterNetwork(w http.ResponseWriter, r *http.Request) {
 	var spec sim.NetworkSpec
-	if !decodeJSON(w, r, &spec) {
+	if !s.decodeJSON(w, r, &spec) {
 		return
 	}
 	info, err := sim.RegisterNetwork(&spec)
 	if err != nil {
-		writeError(w, errorStatus(err), err)
+		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	writeJSON(w, info)
+	s.writeJSON(w, info)
 }
 
 // handleNetworkIndex lists the evaluable networks: the built-in Table III
 // zoo and every registered custom network.
 func (s *server) handleNetworkIndex(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"zoo":    sim.ZooNetworks(),
 		"custom": sim.RegisteredNetworks(),
 	})
@@ -230,12 +383,12 @@ func experimentIndexTable() *report.Table {
 func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 	format, err := pickFormat(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	switch format {
 	case "json":
-		writeJSON(w, experiments.Index())
+		s.writeJSON(w, experiments.Index())
 	case "csv":
 		w.Header().Set("Content-Type", contentType(format))
 		experimentIndexTable().RenderCSV(w)
@@ -245,42 +398,51 @@ func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleExperiment regenerates one paper artifact under the request
-// context and writes it in the negotiated representation. The optional
+// handleExperiment regenerates one paper artifact under the admitted
+// request context (deadline class "experiment", minus any queue wait) and
+// writes it in the negotiated representation. The optional
 // ?sampler=v1|v2|v3 query parameter selects the Monte-Carlo sampling
 // regime (default v3, the counter-based keyed generator; v1/v2 reproduce
-// the earlier pinned byte streams).
+// the earlier pinned byte streams). The artifact is rendered into a
+// buffer BEFORE any header is written, so a render failure surfaces as a
+// clean 500 instead of a 200 with a truncated body.
 func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	format, err := pickFormat(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	sampler, err := stats.ParseSamplerVersion(r.URL.Query().Get("sampler"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	e, err := experiments.ByID(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	results := experiments.Run(ctx, []experiments.Experiment{e},
-		experiments.Options{Par: s.par, Sampler: sampler})
+	results := experiments.Run(r.Context(), []experiments.Experiment{e},
+		experiments.Options{Par: s.cfg.Par, Sampler: sampler})
 	if rerr := results[0].Err; rerr != nil {
-		writeError(w, errorStatus(rerr), fmt.Errorf("%s: %w", e.ID, rerr))
+		s.writeComputeError(w, r, fmt.Errorf("%s: %w", e.ID, rerr))
+		return
+	}
+	var buf bytes.Buffer
+	switch format {
+	case "json":
+		err = results[0].Document().RenderJSON(&buf)
+	case "csv":
+		err = experiments.WriteCSV(&buf, results)
+	default:
+		err = experiments.WriteText(&buf, results)
+	}
+	if err != nil {
+		s.writeComputeError(w, r, fmt.Errorf("rendering %s as %s: %w", e.ID, format, err))
 		return
 	}
 	w.Header().Set("Content-Type", contentType(format))
-	switch format {
-	case "json":
-		results[0].Document().RenderJSON(w)
-	case "csv":
-		experiments.WriteCSV(w, results)
-	default:
-		experiments.WriteText(w, results)
+	if _, err := w.Write(buf.Bytes()); err != nil && s.logger != nil {
+		s.logger.Printf("timelyd: writing %s response: %v", e.ID, err)
 	}
 }

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,9 +15,23 @@ import (
 	"time"
 )
 
+// quietConfig is the baseline test configuration: one inner worker,
+// generous deadline classes and admission headroom (so tests that are not
+// about overload never shed), and no log noise.
+func quietConfig() serverConfig {
+	return serverConfig{
+		Par:               1,
+		EvaluateTimeout:   time.Minute,
+		ExperimentTimeout: time.Minute,
+		MaxConcurrent:     16,
+		QueueDepth:        128,
+		Logger:            log.New(io.Discard, "", 0),
+	}
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(1, time.Minute))
+	ts := httptest.NewServer(newServer(quietConfig()))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -485,9 +501,12 @@ func TestConcurrentRequests(t *testing.T) {
 }
 
 // TestRequestTimeout proves an expired compute budget aborts the run and
-// surfaces as a gateway timeout rather than hanging the handler.
+// surfaces as a gateway timeout (phase "compute") rather than hanging the
+// handler.
 func TestRequestTimeout(t *testing.T) {
-	ts := httptest.NewServer(newServer(1, time.Nanosecond))
+	cfg := quietConfig()
+	cfg.ExperimentTimeout = time.Nanosecond
+	ts := httptest.NewServer(newServer(cfg))
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL + "/v1/experiments/table5")
 	if err != nil {
@@ -499,19 +518,39 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
 	}
 	errorBody(t, string(body))
+	var e struct {
+		Phase string `json:"phase"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Phase != "compute" {
+		t.Errorf("phase = %q, want compute (body %s)", e.Phase, body)
+	}
 }
 
 // TestClientDisconnectCancelsRun proves a dropped connection cancels the
-// in-flight computation context.
+// in-flight computation context, and that the outcome is accounted as
+// client-gone (nginx-style 499 in the access log) — NOT as a shed or a
+// server error, so overload accounting stays honest.
 func TestClientDisconnectCancelsRun(t *testing.T) {
-	s := newServer(1, time.Minute)
+	var logBuf bytes.Buffer
+	cfg := quietConfig()
+	cfg.Logger = log.New(&logBuf, "", 0)
+	s := newServer(cfg)
 	req := httptest.NewRequest(http.MethodGet, "/v1/experiments/table5", nil)
 	ctx, cancel := context.WithCancel(req.Context())
 	cancel() // client already gone
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req.WithContext(ctx))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503 for cancelled client", rec.Code)
+	if rec.Body.Len() != 0 {
+		t.Errorf("wrote %q to a disconnected client", rec.Body.String())
 	}
-	errorBody(t, rec.Body.String())
+	logLine := logBuf.String()
+	if !strings.Contains(logLine, "status=499") || !strings.Contains(logLine, "outcome=client_gone") {
+		t.Errorf("access log %q missing 499/client_gone", logLine)
+	}
+	if got := s.metrics.ClientGone.Load(); got != 1 {
+		t.Errorf("ClientGone = %d, want 1", got)
+	}
+	if got := s.metrics.Shed(); got != 0 {
+		t.Errorf("Shed = %d, want 0 — client disconnects must not count as shed", got)
+	}
 }

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control errors. The HTTP mapping lives in ShedStatus: a full
+// queue is the client's signal to back off hard (429), policy sheds are
+// transient server states (503), and a budget that died waiting is a
+// deadline failure (504) whose phase is "queue".
+var (
+	// ErrQueueFull: the wait queue is at capacity; shed immediately.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrQueueWait: the server's max-queue-wait policy expired first.
+	ErrQueueWait = errors.New("max queue wait exceeded before a worker freed up")
+	// ErrQueueBudget: the request's own deadline budget died in queue.
+	ErrQueueBudget = errors.New("request deadline exhausted while queued")
+	// ErrDraining: the server is draining for shutdown.
+	ErrDraining = errors.New("server is draining")
+)
+
+// Limiter is a bounded admission controller: at most `concurrency`
+// requests hold compute slots at once, at most `depth` more wait for one,
+// and no request waits longer than `maxWait` (or its own deadline budget,
+// whichever is smaller). Everything beyond that is shed immediately —
+// the queue can never grow without bound.
+type Limiter struct {
+	sem      chan struct{} // buffered to concurrency: compute slots
+	depth    int
+	maxWait  time.Duration
+	queued   atomic.Int64 // current waiters
+	inflight atomic.Int64 // current slot holders
+	draining atomic.Bool
+}
+
+// NewLimiter builds a limiter with `concurrency` compute slots, a wait
+// queue of `depth`, and a `maxWait` queue-wait cap (0 = no cap beyond the
+// request's own budget). concurrency and depth are clamped to ≥ 1 and ≥ 0.
+func NewLimiter(concurrency, depth int, maxWait time.Duration) *Limiter {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &Limiter{
+		sem:     make(chan struct{}, concurrency),
+		depth:   depth,
+		maxWait: maxWait,
+	}
+}
+
+// Grant is one admitted request's hold on a compute slot. Wait is the
+// time it spent queued (0 on the fast path); Release returns the slot and
+// must be called exactly once.
+type Grant struct {
+	Wait    time.Duration
+	limiter *Limiter
+	done    atomic.Bool
+}
+
+// Release frees the compute slot. Safe to call at most once; a second
+// call is a no-op rather than a slot leak in the other direction. The
+// gauge drops BEFORE the slot frees so InFlight never reads above
+// capacity (it may transiently read low, which is the harmless side).
+func (g *Grant) Release() {
+	if g == nil || !g.done.CompareAndSwap(false, true) {
+		return
+	}
+	g.limiter.inflight.Add(-1)
+	<-g.limiter.sem
+}
+
+// Acquire admits one request. budget is the request's total deadline
+// class (0 = none): if it would expire before a slot frees up, Acquire
+// fails with ErrQueueBudget so the caller can report that time died in
+// queue; the residue (budget - Grant.Wait) is the caller's compute budget.
+// ctx cancellation (a vanished client) aborts the wait with ctx.Err().
+func (l *Limiter) Acquire(ctx context.Context, budget time.Duration) (*Grant, error) {
+	if l.draining.Load() {
+		return nil, ErrDraining
+	}
+	// Fast path: a free slot means zero queue wait.
+	select {
+	case l.sem <- struct{}{}:
+		l.inflight.Add(1)
+		return &Grant{limiter: l}, nil
+	default:
+	}
+	// Slow path: take a queue position or shed.
+	if l.queued.Add(1) > int64(l.depth) {
+		l.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer l.queued.Add(-1)
+
+	start := time.Now()
+	// The wait is bounded by server policy (maxWait) and by the request's
+	// own budget; whichever is tighter decides the failure mode.
+	var policy, budgetC <-chan time.Time
+	if l.maxWait > 0 {
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		policy = t.C
+	}
+	if budget > 0 {
+		t := time.NewTimer(budget)
+		defer t.Stop()
+		budgetC = t.C
+	}
+	select {
+	case l.sem <- struct{}{}:
+		wait := time.Since(start)
+		if l.draining.Load() {
+			<-l.sem
+			return nil, ErrDraining
+		}
+		if budget > 0 && wait >= budget {
+			// The slot freed up at the same instant the budget died;
+			// admitting with a non-positive compute budget helps nobody.
+			<-l.sem
+			return nil, ErrQueueBudget
+		}
+		l.inflight.Add(1)
+		return &Grant{Wait: wait, limiter: l}, nil
+	case <-policy:
+		return nil, ErrQueueWait
+	case <-budgetC:
+		return nil, ErrQueueBudget
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// StartDrain flips the limiter into drain mode: every subsequent Acquire
+// sheds with ErrDraining. In-flight grants are unaffected — the HTTP
+// server's graceful Shutdown waits for them.
+func (l *Limiter) StartDrain() { l.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (l *Limiter) Draining() bool { return l.draining.Load() }
+
+// InFlight returns the number of currently held compute slots.
+func (l *Limiter) InFlight() int64 { return l.inflight.Load() }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (l *Limiter) Queued() int64 { return l.queued.Load() }
+
+// Capacity returns the slot and queue-depth configuration.
+func (l *Limiter) Capacity() (concurrency, depth int) { return cap(l.sem), l.depth }
+
+// Saturated reports whether the wait queue is at capacity — the signal
+// /readyz uses to tell a balancer to steer traffic elsewhere before
+// requests start bouncing off ErrQueueFull.
+func (l *Limiter) Saturated() bool {
+	return l.queued.Load() >= int64(l.depth) && len(l.sem) == cap(l.sem)
+}
+
+// RetryAfter suggests how long a shed client should back off before
+// retrying: half the max queue wait for policy sheds (the queue drains on
+// that timescale), a nominal second otherwise.
+func (l *Limiter) RetryAfter(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrQueueWait), errors.Is(err, ErrQueueFull):
+		if l.maxWait > 0 {
+			if d := l.maxWait / 2; d > time.Second {
+				return d
+			}
+		}
+		return time.Second
+	case errors.Is(err, ErrDraining):
+		return 2 * time.Second
+	}
+	return 0
+}
+
+// ShedStatus maps an Acquire error to its HTTP status. Unknown errors map
+// to 500 — an admission failure the caller did not enumerate is a bug.
+func ShedStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return 429 // http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueWait), errors.Is(err, ErrDraining):
+		return 503 // http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueBudget), errors.Is(err, context.DeadlineExceeded):
+		return 504 // http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client gone; the status is for the access log (see StatusClientGone).
+		return 499
+	}
+	return 500
+}
+
+// StatusClientGone is the nginx-convention access-log status for a client
+// that disconnected before the response: not shed, not a server error.
+const StatusClientGone = 499

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterFastPath(t *testing.T) {
+	l := NewLimiter(2, 4, time.Second)
+	g1, err := l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Wait != 0 {
+		t.Errorf("fast path wait = %s, want 0", g1.Wait)
+	}
+	g2, err := l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	g1.Release()
+	g2.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Errorf("InFlight after release = %d, want 0", got)
+	}
+	// Double release must not free a slot twice.
+	g1.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Errorf("InFlight after double release = %d, want 0", got)
+	}
+}
+
+func TestLimiterQueueFullSheds(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	g, err := l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits the queue...
+	done := make(chan error, 1)
+	go func() {
+		g2, err := l.Acquire(context.Background(), 0)
+		if g2 != nil {
+			g2.Release()
+		}
+		done <- err
+	}()
+	// Wait until that goroutine is actually queued.
+	for i := 0; l.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// ...the next one sheds immediately.
+	if _, err := l.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: err = %v, want ErrQueueFull", err)
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestLimiterMaxWaitSheds(t *testing.T) {
+	l := NewLimiter(1, 4, 30*time.Millisecond)
+	g, _ := l.Acquire(context.Background(), 0)
+	defer g.Release()
+	start := time.Now()
+	_, err := l.Acquire(context.Background(), 0)
+	if !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("err = %v, want ErrQueueWait", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond || d > 500*time.Millisecond {
+		t.Errorf("shed after %s, want ≈30ms", d)
+	}
+}
+
+func TestLimiterBudgetDiesInQueue(t *testing.T) {
+	// Budget tighter than the queue-wait policy: the failure is the
+	// request's deadline, not the server's shed policy.
+	l := NewLimiter(1, 4, time.Second)
+	g, _ := l.Acquire(context.Background(), 0)
+	defer g.Release()
+	_, err := l.Acquire(context.Background(), 20*time.Millisecond)
+	if !errors.Is(err, ErrQueueBudget) {
+		t.Fatalf("err = %v, want ErrQueueBudget", err)
+	}
+}
+
+func TestLimiterQueuedAcquireProceeds(t *testing.T) {
+	l := NewLimiter(1, 4, time.Second)
+	g, _ := l.Acquire(context.Background(), 0)
+	done := make(chan *Grant, 1)
+	go func() {
+		g2, err := l.Acquire(context.Background(), time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- g2
+	}()
+	for i := 0; l.Queued() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+	g2 := <-done
+	if g2 == nil {
+		t.Fatal("queued acquire returned nil grant")
+	}
+	if g2.Wait <= 0 {
+		t.Errorf("queued wait = %s, want > 0", g2.Wait)
+	}
+	g2.Release()
+}
+
+func TestLimiterClientGoneAbortsWait(t *testing.T) {
+	l := NewLimiter(1, 4, time.Second)
+	g, _ := l.Acquire(context.Background(), 0)
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := l.Acquire(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLimiterDrain(t *testing.T) {
+	l := NewLimiter(2, 4, time.Second)
+	g, err := l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartDrain()
+	if _, err := l.Acquire(context.Background(), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire during drain: err = %v, want ErrDraining", err)
+	}
+	// The in-flight grant is unaffected.
+	g.Release()
+	if !l.Draining() {
+		t.Error("Draining() = false after StartDrain")
+	}
+}
+
+func TestLimiterSaturated(t *testing.T) {
+	l := NewLimiter(1, 0, time.Second)
+	if l.Saturated() {
+		t.Error("fresh limiter reports saturated")
+	}
+	g, _ := l.Acquire(context.Background(), 0)
+	if !l.Saturated() {
+		t.Error("busy slot with zero queue depth should read saturated")
+	}
+	g.Release()
+	if l.Saturated() {
+		t.Error("released limiter still saturated")
+	}
+}
+
+func TestLimiterConcurrencyInvariant(t *testing.T) {
+	// Hammer the limiter from many goroutines and assert the slot
+	// invariant holds throughout: in-flight never exceeds capacity.
+	l := NewLimiter(3, 8, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := l.Acquire(context.Background(), 0)
+			if err != nil {
+				return // shed is fine; the invariant is about admits
+			}
+			if got := l.InFlight(); got > 3 {
+				t.Errorf("InFlight = %d > 3", got)
+			}
+			time.Sleep(time.Millisecond)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if got := l.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", got)
+	}
+	if got := l.Queued(); got != 0 {
+		t.Errorf("Queued after drain = %d, want 0", got)
+	}
+}
+
+func TestShedStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrQueueFull, http.StatusTooManyRequests},
+		{ErrQueueWait, http.StatusServiceUnavailable},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{ErrQueueBudget, http.StatusGatewayTimeout},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, StatusClientGone},
+		{errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := ShedStatus(tc.err); got != tc.want {
+			t.Errorf("ShedStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterSuggestions(t *testing.T) {
+	l := NewLimiter(1, 1, 10*time.Second)
+	if d := l.RetryAfter(ErrQueueFull); d != 5*time.Second {
+		t.Errorf("queue full retry = %s, want 5s (half max wait)", d)
+	}
+	if d := l.RetryAfter(ErrDraining); d != 2*time.Second {
+		t.Errorf("draining retry = %s, want 2s", d)
+	}
+	if d := l.RetryAfter(context.Canceled); d != 0 {
+		t.Errorf("canceled retry = %s, want 0", d)
+	}
+	short := NewLimiter(1, 1, 100*time.Millisecond)
+	if d := short.RetryAfter(ErrQueueWait); d != time.Second {
+		t.Errorf("short max-wait retry = %s, want 1s floor", d)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos is a deterministic fault injector for rehearsing the shedding,
+// deadline and panic-recovery paths. It is configured from a compact spec
+// string (the timelyd -chaos flag) of semicolon-separated rules; each
+// rule is comma-separated key=value pairs:
+//
+//	route=/v1/evaluate,latency=50ms,error=3,panic=7
+//
+//	route=PREFIX   match request paths by prefix (default: every path)
+//	latency=DUR    add DUR of latency to every matched request
+//	error=N        fail every Nth matched request with a 500 (N ≥ 1)
+//	panic=N        panic on every Nth matched request (N ≥ 1)
+//
+// Counters are per-rule and deterministic: with error=3 exactly requests
+// 3, 6, 9, … of that rule fail, so tests assert exact behavior instead of
+// sampling probabilities. Injected latency sits INSIDE the admission slot
+// (Chaos wraps the innermost handler), so it is also the supported way to
+// saturate the limiter in tests without burning real compute.
+type Chaos struct {
+	rules []*chaosRule
+}
+
+type chaosRule struct {
+	route      string
+	latency    time.Duration
+	errEvery   uint64
+	panicEvery uint64
+	count      atomic.Uint64
+}
+
+// ParseChaos parses the -chaos flag spec. An empty spec yields a nil
+// Chaos, whose Wrap is the identity.
+func ParseChaos(spec string) (*Chaos, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	c := &Chaos{}
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		rule := &chaosRule{}
+		for _, kv := range strings.Split(rs, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: %q is not key=value", kv)
+			}
+			switch key {
+			case "route":
+				if !strings.HasPrefix(val, "/") {
+					return nil, fmt.Errorf("chaos: route %q must start with /", val)
+				}
+				rule.route = val
+			case "latency":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("chaos: bad latency %q", val)
+				}
+				rule.latency = d
+			case "error", "panic":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("chaos: %s=%q wants an integer ≥ 1", key, val)
+				}
+				if key == "error" {
+					rule.errEvery = n
+				} else {
+					rule.panicEvery = n
+				}
+			default:
+				return nil, fmt.Errorf("chaos: unknown key %q (want route, latency, error, panic)", key)
+			}
+		}
+		if rule.latency == 0 && rule.errEvery == 0 && rule.panicEvery == 0 {
+			return nil, fmt.Errorf("chaos: rule %q injects nothing", rs)
+		}
+		c.rules = append(c.rules, rule)
+	}
+	if len(c.rules) == 0 {
+		return nil, nil
+	}
+	return c, nil
+}
+
+// String renders the active rules for the startup log.
+func (c *Chaos) String() string {
+	if c == nil {
+		return "off"
+	}
+	parts := make([]string, 0, len(c.rules))
+	for _, r := range c.rules {
+		route := r.route
+		if route == "" {
+			route = "/*"
+		}
+		parts = append(parts, fmt.Sprintf("%s{latency=%s,error=%d,panic=%d}",
+			route, r.latency, r.errEvery, r.panicEvery))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Wrap applies the injector to a handler. Injection order per matched
+// request: latency (interruptible by context cancellation), then panic,
+// then error — a panic rule fires even when an error rule also matches,
+// because panics are the rarer, more valuable rehearsal.
+func (c *Chaos) Wrap(next http.Handler) http.Handler {
+	if c == nil || len(c.rules) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, rule := range c.rules {
+			if rule.route != "" && !strings.HasPrefix(r.URL.Path, rule.route) {
+				continue
+			}
+			n := rule.count.Add(1)
+			if rule.latency > 0 {
+				t := time.NewTimer(rule.latency)
+				select {
+				case <-t.C:
+				case <-r.Context().Done():
+					t.Stop()
+				}
+			}
+			if rule.panicEvery > 0 && n%rule.panicEvery == 0 {
+				panic(fmt.Sprintf("chaos: injected panic (request %d on %s)", n, r.URL.Path))
+			}
+			if rule.errEvery > 0 && n%rule.errEvery == 0 {
+				MarkOutcome(r.Context(), "error")
+				WriteError(w, nil, http.StatusInternalServerError, "", 0,
+					fmt.Errorf("chaos: injected error (request %d on %s)", n, r.URL.Path))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+}
+
+func TestParseChaosEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";"} {
+		c, err := ParseChaos(spec)
+		if err != nil || c != nil {
+			t.Errorf("ParseChaos(%q) = %v, %v; want nil, nil", spec, c, err)
+		}
+	}
+	// A nil Chaos wraps to the identity.
+	var c *Chaos
+	rec := httptest.NewRecorder()
+	c.Wrap(okHandler()).ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Body.String() != "ok" {
+		t.Error("nil chaos altered the handler")
+	}
+}
+
+func TestParseChaosErrors(t *testing.T) {
+	bad := []string{
+		"latency",                   // not key=value
+		"route=noslash,latency=1ms", // route must start with /
+		"latency=-5ms",              // negative latency
+		"latency=wat",               // unparseable duration
+		"error=0",                   // every-0th is meaningless
+		"panic=-1",                  // negative
+		"panic=x",                   // unparseable
+		"flub=3",                    // unknown key
+		"route=/v1/evaluate",        // rule injects nothing
+	}
+	for _, spec := range bad {
+		if _, err := ParseChaos(spec); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", spec)
+		}
+	}
+}
+
+func TestChaosErrorSchedule(t *testing.T) {
+	c, err := ParseChaos("error=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Wrap(okHandler())
+	for i := 1; i <= 9; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		wantErr := i%3 == 0
+		if gotErr := rec.Code == http.StatusInternalServerError; gotErr != wantErr {
+			t.Errorf("request %d: status %d, want error=%v", i, rec.Code, wantErr)
+		}
+	}
+}
+
+func TestChaosRouteMatching(t *testing.T) {
+	c, err := ParseChaos("route=/v1/evaluate,error=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Wrap(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("unmatched route injected: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/evaluate", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("matched route not injected: status %d", rec.Code)
+	}
+}
+
+func TestChaosPanicSchedule(t *testing.T) {
+	c, err := ParseChaos("panic=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Wrap(okHandler())
+	serveOnce := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+		return false
+	}
+	want := []bool{false, true, false, true}
+	for i, w := range want {
+		if got := serveOnce(); got != w {
+			t.Errorf("request %d: panicked=%v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	c, err := ParseChaos("latency=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Wrap(okHandler())
+	start := time.Now()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Errorf("request took %s, want ≥ 50ms injected", d)
+	}
+}
+
+func TestChaosLatencyRespectsContext(t *testing.T) {
+	c, err := ParseChaos("latency=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Wrap(okHandler())
+	req := httptest.NewRequest("GET", "/x", nil)
+	ctx, cancel := context.WithTimeout(req.Context(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	h.ServeHTTP(httptest.NewRecorder(), req.WithContext(ctx))
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("injected latency ignored cancellation (%s)", d)
+	}
+}
+
+func TestChaosString(t *testing.T) {
+	var nilChaos *Chaos
+	if nilChaos.String() != "off" {
+		t.Errorf("nil String = %q", nilChaos.String())
+	}
+	c, err := ParseChaos("route=/v1/evaluate,latency=50ms,error=3;panic=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if !strings.Contains(s, "/v1/evaluate") || !strings.Contains(s, "error=3") || !strings.Contains(s, "panic=7") {
+		t.Errorf("String = %q", s)
+	}
+}

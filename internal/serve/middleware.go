@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Class is a deadline class shared by a group of endpoints: the total
+// budget one request may spend across queue wait AND compute. Timeout 0
+// means unbounded (request-context only).
+type Class struct {
+	Name    string
+	Timeout time.Duration
+}
+
+// Info is the per-request record the middleware layers fill in; AccessLog
+// creates one per request and renders it as the structured access line.
+type Info struct {
+	Class     string
+	QueueWait time.Duration
+	// Outcome classifies how the request ended: "ok", "shed",
+	// "queue_deadline", "compute_deadline", "client_gone", "panic",
+	// "error". Inner layers overwrite the default "ok".
+	Outcome string
+}
+
+type infoKey struct{}
+
+// RequestInfo returns the Info record AccessLog attached to this request's
+// context, or nil outside an AccessLog-wrapped chain.
+func RequestInfo(ctx context.Context) *Info {
+	i, _ := ctx.Value(infoKey{}).(*Info)
+	return i
+}
+
+// MarkOutcome records how the request ended in the access-log record, if
+// one exists. Handlers use it to classify compute-phase failures.
+func MarkOutcome(ctx context.Context, outcome string) {
+	if i := RequestInfo(ctx); i != nil {
+		i.Outcome = outcome
+	}
+}
+
+// statusRecorder captures the status code and byte count a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards http.Flusher so streaming responses keep working.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog is the outermost layer: it creates the per-request Info
+// record, times the request, and emits one structured line per request. A
+// client that disconnected mid-request is logged with the nginx-style 499
+// pseudo-status and counted in Metrics.ClientGone — NOT as a shed or a
+// server error — so shed-rate accounting stays honest under flaky clients.
+func AccessLog(logger *log.Logger, m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m != nil {
+			m.Requests.Add(1)
+		}
+		info := &Info{Outcome: "ok"}
+		ctx := context.WithValue(r.Context(), infoKey{}, info)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// The handler's wire status is moot if nobody is listening.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			status = StatusClientGone
+			info.Outcome = "client_gone"
+			if m != nil {
+				m.ClientGone.Add(1)
+			}
+		}
+		if logger != nil {
+			logger.Printf("access method=%s path=%s status=%d bytes=%d dur_ms=%.1f wait_ms=%.1f class=%s outcome=%s",
+				r.Method, r.URL.Path, status, rec.bytes,
+				float64(dur)/float64(time.Millisecond),
+				float64(info.QueueWait)/float64(time.Millisecond),
+				orDash(info.Class), info.Outcome)
+		}
+	})
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Recover contains handler panics: the stack is logged, the client gets a
+// 500 (if the response has not started), and the process lives on. The
+// net/http idiom of panicking with http.ErrAbortHandler to drop a
+// connection is preserved.
+func Recover(logger *log.Logger, m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if m != nil {
+				m.Panics.Add(1)
+			}
+			MarkOutcome(r.Context(), "panic")
+			if logger != nil {
+				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			}
+			WriteError(w, logger, http.StatusInternalServerError, "",
+				0, fmt.Errorf("internal error: the request handler panicked"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Admit gates a compute endpoint behind the limiter and its deadline
+// class. Shed requests get the uniform error body with Retry-After and a
+// phase of "queue"; admitted requests run under a context whose deadline
+// is the class budget MINUS the time already burned in queue, so a
+// request that waited never gets more compute than its class promised.
+func Admit(l *Limiter, class Class, m *Metrics, logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g, err := l.Acquire(r.Context(), class.Timeout)
+		if err != nil {
+			shed(w, r, l, m, logger, err)
+			return
+		}
+		defer g.Release()
+		if m != nil {
+			m.Admitted.Add(1)
+			m.QueueWaitNanos.Add(int64(g.Wait))
+		}
+		ctx := r.Context()
+		if info := RequestInfo(ctx); info != nil {
+			info.Class = class.Name
+			info.QueueWait = g.Wait
+		}
+		if class.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, class.Timeout-g.Wait)
+			defer cancel()
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// shed writes the admission failure response and books the metrics.
+func shed(w http.ResponseWriter, r *http.Request, l *Limiter, m *Metrics, logger *log.Logger, err error) {
+	if info := RequestInfo(r.Context()); info != nil {
+		switch {
+		case errors.Is(err, ErrQueueBudget):
+			info.Outcome = "queue_deadline"
+		case errors.Is(err, context.Canceled):
+			info.Outcome = "client_gone"
+		default:
+			info.Outcome = "shed"
+		}
+	}
+	if m != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			m.ShedQueueFull.Add(1)
+		case errors.Is(err, ErrQueueWait):
+			m.ShedQueueWait.Add(1)
+		case errors.Is(err, ErrDraining):
+			m.ShedDraining.Add(1)
+		case errors.Is(err, ErrQueueBudget):
+			m.QueueDeadline.Add(1)
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		// Nobody is listening; AccessLog books the 499.
+		return
+	}
+	WriteError(w, logger, ShedStatus(err), "queue", l.RetryAfter(err), err)
+}

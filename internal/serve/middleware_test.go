@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := &Metrics{}
+	h := Recover(log.New(&logBuf, "", 0), m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Errorf("body = %q, want JSON error", rec.Body.String())
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "kaboom") || !strings.Contains(logged, "middleware_test.go") {
+		t.Errorf("log %q missing panic value or stack frame", logged)
+	}
+	if m.Panics.Load() != 1 {
+		t.Errorf("Panics = %d, want 1", m.Panics.Load())
+	}
+}
+
+func TestRecoverPreservesAbortHandler(t *testing.T) {
+	h := Recover(nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler was swallowed; net/http relies on it propagating")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := &Metrics{}
+	h := AccessLog(log.New(&logBuf, "", 0), m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if info := RequestInfo(r.Context()); info != nil {
+			info.Class = "evaluate"
+			info.QueueWait = 3 * time.Millisecond
+		}
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/evaluate", nil))
+	line := logBuf.String()
+	for _, want := range []string{"method=GET", "path=/v1/evaluate", "status=418",
+		"bytes=15", "class=evaluate", "outcome=ok", "wait_ms=3.0"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line %q missing %q", line, want)
+		}
+	}
+	if m.Requests.Load() != 1 {
+		t.Errorf("Requests = %d, want 1", m.Requests.Load())
+	}
+}
+
+func TestAccessLogClientGone(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := &Metrics{}
+	h := AccessLog(log.New(&logBuf, "", 0), m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Handler wrote a would-be 503, but the client vanished.
+	}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	h.ServeHTTP(httptest.NewRecorder(), req.WithContext(ctx))
+	line := logBuf.String()
+	if !strings.Contains(line, "status=499") || !strings.Contains(line, "outcome=client_gone") {
+		t.Errorf("access line %q, want 499 client_gone", line)
+	}
+	if m.ClientGone.Load() != 1 {
+		t.Errorf("ClientGone = %d, want 1", m.ClientGone.Load())
+	}
+}
+
+// slowHandler sleeps inside the admitted slot, interruptibly.
+func slowHandler(d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(d):
+			w.Write([]byte("done"))
+		case <-r.Context().Done():
+			WriteError(w, nil, ShedStatus(r.Context().Err()), "compute", 0, r.Context().Err())
+		}
+	})
+}
+
+func TestAdmitShedsWithRetryAfter(t *testing.T) {
+	l := NewLimiter(1, 0, time.Second)
+	m := &Metrics{}
+	h := Admit(l, Class{Name: "test", Timeout: time.Second}, m, nil, slowHandler(200*time.Millisecond))
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		// Hold the only slot via a raw grant so the test controls timing.
+		g, err := l.Acquire(context.Background(), 0)
+		if err != nil {
+			t.Error(err)
+		}
+		close(started)
+		<-release
+		g.Release()
+	}()
+	<-started
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var body ErrorBody
+	if err := jsonDecode(rec.Body.Bytes(), &body); err != nil || body.Phase != "queue" {
+		t.Errorf("body = %+v (%v), want phase=queue", body, err)
+	}
+	if m.ShedQueueFull.Load() != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1", m.ShedQueueFull.Load())
+	}
+	close(release)
+}
+
+func TestAdmitSubtractsQueueWaitFromBudget(t *testing.T) {
+	// One slot, held for 80ms; class budget 120ms. The queued request
+	// waits ~80ms, so its compute deadline must be ~40ms away — a
+	// handler needing 200ms MUST hit its deadline. If Admit granted the
+	// full 120ms after the wait, the handler would finish in time and
+	// this test would fail.
+	l := NewLimiter(1, 2, time.Second)
+	m := &Metrics{}
+	h := Admit(l, Class{Name: "test", Timeout: 120 * time.Millisecond}, m, nil, slowHandler(200*time.Millisecond))
+
+	g, err := l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		g.Release()
+	}()
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (elapsed %s, body %s)", rec.Code, elapsed, rec.Body.String())
+	}
+	// Total wall time ≈ the class budget, NOT wait + full budget.
+	if elapsed > 190*time.Millisecond {
+		t.Errorf("request took %s; queue wait was not subtracted from the budget", elapsed)
+	}
+	if m.Admitted.Load() != 1 {
+		t.Errorf("Admitted = %d, want 1", m.Admitted.Load())
+	}
+}
+
+func TestWriteErrorRetryAfterFloor(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, nil, http.StatusServiceUnavailable, "queue", 200*time.Millisecond, errors.New("x"))
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want floor of 1s", got)
+	}
+	var body ErrorBody
+	if err := jsonDecode(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RetryAfterS != 1 || body.Phase != "queue" || body.Error != "x" {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := &Metrics{}
+	m.ShedQueueFull.Add(2)
+	m.ShedQueueWait.Add(1)
+	m.ShedDraining.Add(1)
+	m.ClientGone.Add(5)
+	if got := m.Shed(); got != 4 {
+		t.Errorf("Shed = %d, want 4 (client-gone excluded)", got)
+	}
+	snap := m.Snapshot()
+	if snap["shed_queue_full"] != 2 || snap["client_gone"] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+// jsonDecode is a tiny helper for asserting response bodies.
+func jsonDecode(raw []byte, v any) error {
+	if len(raw) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	return json.Unmarshal(raw, v)
+}

@@ -1,0 +1,116 @@
+// Package serve is the service-robustness substrate behind cmd/timelyd:
+// bounded admission control with load shedding, per-endpoint deadline
+// classes with queue-wait-aware budget propagation, panic containment,
+// structured access logging with honest client-gone accounting, and a
+// deterministic chaos fault injector for rehearsing all of the above.
+//
+// The package is deliberately free of any simulator knowledge: it speaks
+// net/http and the uniform JSON error body, so any future daemon in this
+// module (an explore-job runner, a shard router) can reuse it unchanged.
+//
+// Request flow through a fully wired server:
+//
+//	AccessLog → Recover → mux → [compute routes: Admit → Chaos → handler]
+//	                          → [cheap routes:           Chaos → handler]
+//
+// AccessLog owns the per-request Info record (queue wait, deadline class,
+// outcome) that inner layers fill in; Recover converts handler panics to
+// 500s; Admit applies the Limiter and deadline Class; Chaos sits innermost
+// so injected latency occupies a real concurrency slot and injected panics
+// exercise the real recovery path.
+package serve
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service counter set. All fields are atomics so one
+// instance is shared by every middleware layer without locking; Snapshot
+// renders the set for /metricz and tests.
+type Metrics struct {
+	// Requests counts every request that entered the access-log layer.
+	Requests atomic.Int64
+	// Admitted counts compute requests that got a concurrency slot.
+	Admitted atomic.Int64
+	// ShedQueueFull counts 429s from a full admission queue.
+	ShedQueueFull atomic.Int64
+	// ShedQueueWait counts 503s from the max-queue-wait policy.
+	ShedQueueWait atomic.Int64
+	// ShedDraining counts 503s shed because the server is draining.
+	ShedDraining atomic.Int64
+	// QueueDeadline counts 504s whose deadline budget died in queue.
+	QueueDeadline atomic.Int64
+	// ComputeDeadline counts 504s whose deadline budget died in compute.
+	ComputeDeadline atomic.Int64
+	// ClientGone counts requests abandoned by the client (access-log 499);
+	// they are not shed and not server errors.
+	ClientGone atomic.Int64
+	// Panics counts handler panics converted to 500s by Recover.
+	Panics atomic.Int64
+	// QueueWaitNanos accumulates time admitted requests spent queued.
+	QueueWaitNanos atomic.Int64
+}
+
+// Snapshot returns the counter values as a JSON-friendly map.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"requests":         m.Requests.Load(),
+		"admitted":         m.Admitted.Load(),
+		"shed_queue_full":  m.ShedQueueFull.Load(),
+		"shed_queue_wait":  m.ShedQueueWait.Load(),
+		"shed_draining":    m.ShedDraining.Load(),
+		"queue_deadline":   m.QueueDeadline.Load(),
+		"compute_deadline": m.ComputeDeadline.Load(),
+		"client_gone":      m.ClientGone.Load(),
+		"panics":           m.Panics.Load(),
+		"queue_wait_ms":    m.QueueWaitNanos.Load() / int64(time.Millisecond),
+	}
+}
+
+// Shed reports the total number of requests shed for load reasons
+// (queue full, queue-wait policy, draining) — the numerator of the shed
+// rate a load balancer or the loadgen harness cares about.
+func (m *Metrics) Shed() int64 {
+	return m.ShedQueueFull.Load() + m.ShedQueueWait.Load() + m.ShedDraining.Load()
+}
+
+// ErrorBody is the uniform JSON error shape every endpoint speaks. Phase
+// distinguishes where a deadline died ("queue" vs "compute") so clients
+// can tell an overloaded server from a slow computation; RetryAfterS
+// mirrors the Retry-After header for JSON-only clients.
+type ErrorBody struct {
+	Error       string `json:"error"`
+	Phase       string `json:"phase,omitempty"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// WriteError emits the uniform JSON error body, setting Retry-After when
+// retryAfter > 0. Encode failures are logged rather than discarded: by the
+// time Encode runs the status line is committed, so logging is the only
+// honest response left.
+func WriteError(w http.ResponseWriter, logger *log.Logger, status int, phase string, retryAfter time.Duration, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(status)
+	body := ErrorBody{Error: err.Error(), Phase: phase}
+	if retryAfter > 0 {
+		body.RetryAfterS = int(retryAfter / time.Second)
+		if body.RetryAfterS < 1 {
+			body.RetryAfterS = 1
+		}
+	}
+	if eerr := json.NewEncoder(w).Encode(body); eerr != nil && logger != nil {
+		logger.Printf("serve: encoding error body for %d: %v", status, eerr)
+	}
+}
