@@ -202,19 +202,31 @@ schedule:
 	if r.Attempts > 0 {
 		r.ShedRate = float64(r.Shed) / float64(r.Attempts)
 	}
-	if n := len(col.latencies); n > 0 {
+	if len(col.latencies) > 0 {
 		sort.Float64s(col.latencies)
-		r.Latency.P50Ms = stats.PercentileSorted(col.latencies, 0.50)
-		r.Latency.P95Ms = stats.PercentileSorted(col.latencies, 0.95)
-		r.Latency.P99Ms = stats.PercentileSorted(col.latencies, 0.99)
-		r.Latency.MaxMs = col.latencies[n-1]
-		var sum float64
-		for _, v := range col.latencies {
-			sum += v
-		}
-		r.Latency.MeanMs = sum / float64(n)
+		r.Latency = summarize(col.latencies)
 	}
 	return r, nil
+}
+
+// summarize reduces an ascending latency sample (ms) to the report's
+// percentile summary. PercentileSorted takes p on the 0..100 scale.
+func summarize(sorted []float64) LatencySummary {
+	n := len(sorted)
+	if n == 0 {
+		return LatencySummary{}
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencySummary{
+		P50Ms:  stats.PercentileSorted(sorted, 50),
+		P95Ms:  stats.PercentileSorted(sorted, 95),
+		P99Ms:  stats.PercentileSorted(sorted, 99),
+		MeanMs: sum / float64(n),
+		MaxMs:  sorted[n-1],
+	}
 }
 
 // oneRequest executes one logical request: the initial attempt plus up to

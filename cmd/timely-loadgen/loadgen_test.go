@@ -162,6 +162,40 @@ func TestOpenLoopDropsWhenSaturated(t *testing.T) {
 	}
 }
 
+// TestSummarizeKnownDistribution pins the percentile scale: the report's
+// p50/p95/p99 must sit at the 50th/95th/99th percentile ranks of the
+// sample, not the 0.5th/0.95th/0.99th (the near-minimum values a 0..1
+// fraction would select). 100 latencies of 1..100ms make the two scales
+// differ by ~two orders of magnitude, so a scale regression cannot pass.
+func TestSummarizeKnownDistribution(t *testing.T) {
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = float64(i + 1) // 1..100 ms, already ascending
+	}
+	got := summarize(lat)
+	// Linear interpolation between closest ranks over 100 points:
+	// p50 = 50.5, p95 = 95.05, p99 = 99.01.
+	want := LatencySummary{P50Ms: 50.5, P95Ms: 95.05, P99Ms: 99.01, MeanMs: 50.5, MaxMs: 100}
+	const eps = 1e-9
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", got.P50Ms, want.P50Ms},
+		{"p95", got.P95Ms, want.P95Ms},
+		{"p99", got.P99Ms, want.P99Ms},
+		{"mean", got.MeanMs, want.MeanMs},
+		{"max", got.MaxMs, want.MaxMs},
+	} {
+		if diff := c.got - c.want; diff < -eps || diff > eps {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if got := summarize(nil); got != (LatencySummary{}) {
+		t.Errorf("summarize(nil) = %+v, want zero", got)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	cases := []Config{
 		{},                        // no URL

@@ -320,20 +320,26 @@ func TestCheapEndpointsBypassAdmission(t *testing.T) {
 			t.Errorf("%s under load took %s — queued behind compute?", path, d)
 		}
 	}
-	// /readyz answers immediately too, but honestly: with the slot busy
-	// and zero queue it reports saturation so balancers route away.
-	start := time.Now()
+	// With no queue, a merely-busy slot is normal operation: /readyz must
+	// stay ready (it would otherwise flap under any steady traffic)...
 	status, body, _ := get(t, ts, "/readyz", "")
+	if status != http.StatusOK || !strings.Contains(body, `"ready"`) {
+		t.Errorf("readyz with busy slot but no sheds: status %d body %s, want 200 ready", status, body)
+	}
+	// ...until the compute path actually sheds...
+	resp, _ := doEvaluate(t, ts)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("compute under load: status = %d, want 429", resp.StatusCode)
+	}
+	// ...after which /readyz answers immediately AND honestly: requests
+	// are bouncing, so balancers should route away.
+	start := time.Now()
+	status, body, _ = get(t, ts, "/readyz", "")
 	if status != http.StatusServiceUnavailable || !strings.Contains(body, `"overloaded"`) {
 		t.Errorf("readyz under saturation: status %d body %s, want 503 overloaded", status, body)
 	}
 	if d := time.Since(start); d > 300*time.Millisecond {
 		t.Errorf("readyz under load took %s — queued behind compute?", d)
-	}
-	// ...while the compute path itself sheds.
-	resp, _ := doEvaluate(t, ts)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Errorf("compute under load: status = %d, want 429", resp.StatusCode)
 	}
 	wg.Wait()
 }

@@ -34,6 +34,10 @@ type Limiter struct {
 	queued   atomic.Int64 // current waiters
 	inflight atomic.Int64 // current slot holders
 	draining atomic.Bool
+	// lastQueueFull is the monotonic-ish wall time (unix nanos) of the most
+	// recent ErrQueueFull shed; Saturated uses it when depth == 0, where
+	// "queue at capacity" is vacuously true and would flap readiness.
+	lastQueueFull atomic.Int64
 }
 
 // NewLimiter builds a limiter with `concurrency` compute slots, a wait
@@ -93,6 +97,7 @@ func (l *Limiter) Acquire(ctx context.Context, budget time.Duration) (*Grant, er
 	// Slow path: take a queue position or shed.
 	if l.queued.Add(1) > int64(l.depth) {
 		l.queued.Add(-1)
+		l.lastQueueFull.Store(time.Now().UnixNano())
 		return nil, ErrQueueFull
 	}
 	defer l.queued.Add(-1)
@@ -152,11 +157,28 @@ func (l *Limiter) Queued() int64 { return l.queued.Load() }
 // Capacity returns the slot and queue-depth configuration.
 func (l *Limiter) Capacity() (concurrency, depth int) { return cap(l.sem), l.depth }
 
-// Saturated reports whether the wait queue is at capacity — the signal
+// saturationWindow bounds how long a no-queue limiter keeps reporting
+// saturated after its last queue-full shed: long enough for a balancer
+// probing every few hundred ms to see it, short enough that readiness
+// recovers promptly once the burst passes.
+const saturationWindow = time.Second
+
+// Saturated reports whether admission is at capacity — the signal
 // /readyz uses to tell a balancer to steer traffic elsewhere before
-// requests start bouncing off ErrQueueFull.
+// requests start bouncing off ErrQueueFull. With a wait queue it means
+// "every slot busy AND the queue full". With depth 0 the queued-based
+// test is vacuously true (queued >= 0 always), so merely-busy slots
+// would flap readiness under normal load; instead a no-queue limiter
+// reads saturated only while requests are actively being shed.
 func (l *Limiter) Saturated() bool {
-	return l.queued.Load() >= int64(l.depth) && len(l.sem) == cap(l.sem)
+	if len(l.sem) < cap(l.sem) {
+		return false
+	}
+	if l.depth > 0 {
+		return l.queued.Load() >= int64(l.depth)
+	}
+	last := l.lastQueueFull.Load()
+	return last > 0 && time.Since(time.Unix(0, last)) < saturationWindow
 }
 
 // RetryAfter suggests how long a shed client should back off before

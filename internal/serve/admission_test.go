@@ -155,12 +155,52 @@ func TestLimiterSaturated(t *testing.T) {
 		t.Error("fresh limiter reports saturated")
 	}
 	g, _ := l.Acquire(context.Background(), 0)
+	// A busy slot alone is normal operation for a no-queue limiter;
+	// calling it saturated would flap /readyz under steady load.
+	if l.Saturated() {
+		t.Error("busy slot with zero queue depth and no sheds reads saturated")
+	}
+	if _, err := l.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second acquire: err = %v, want ErrQueueFull", err)
+	}
 	if !l.Saturated() {
-		t.Error("busy slot with zero queue depth should read saturated")
+		t.Error("full slots with an active queue-full shed should read saturated")
 	}
 	g.Release()
 	if l.Saturated() {
 		t.Error("released limiter still saturated")
+	}
+}
+
+func TestLimiterSaturatedWithQueue(t *testing.T) {
+	l := NewLimiter(1, 1, time.Second)
+	g, _ := l.Acquire(context.Background(), 0)
+	if l.Saturated() {
+		t.Error("busy slot with an empty queue reads saturated")
+	}
+	// Park one waiter to fill the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		l.Acquire(ctx, 0)
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !l.Saturated() {
+		t.Error("full slots + full queue should read saturated")
+	}
+	cancel()
+	<-done
+	g.Release()
+	if l.Saturated() {
+		t.Error("drained limiter still saturated")
 	}
 }
 

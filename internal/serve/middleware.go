@@ -97,8 +97,13 @@ func AccessLog(logger *log.Logger, m *Metrics, next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		// The handler's wire status is moot if nobody is listening.
-		if errors.Is(ctx.Err(), context.Canceled) {
+		// A cancelled context means the client went away — but only
+		// reclassify as 499 when no response was committed (or the handler
+		// itself marked the request client-gone): a client that disconnects
+		// right after receiving its 2xx still got served, and rewriting
+		// that to client_gone would skew success accounting.
+		if errors.Is(ctx.Err(), context.Canceled) &&
+			(rec.status == 0 || info.Outcome == "client_gone") {
 			status = StatusClientGone
 			info.Outcome = "client_gone"
 			if m != nil {

@@ -92,6 +92,29 @@ func TestAccessLogClientGone(t *testing.T) {
 	}
 }
 
+// TestAccessLogLateDisconnectKeepsStatus: a client that disconnects
+// AFTER its response was fully written was served, not lost; the access
+// line must keep the committed status instead of rewriting it to 499.
+func TestAccessLogLateDisconnectKeepsStatus(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := &Metrics{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := AccessLog(log.New(&logBuf, "", 0), m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+		cancel() // client vanishes only after the 200 was committed
+	}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req.WithContext(ctx))
+	line := logBuf.String()
+	if !strings.Contains(line, "status=200") || !strings.Contains(line, "outcome=ok") {
+		t.Errorf("access line %q, want committed 200/ok kept", line)
+	}
+	if m.ClientGone.Load() != 0 {
+		t.Errorf("ClientGone = %d, want 0 — the response landed", m.ClientGone.Load())
+	}
+}
+
 // slowHandler sleeps inside the admitted slot, interruptibly.
 func slowHandler(d time.Duration) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
