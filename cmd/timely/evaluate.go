@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/trace"
 	"repro/sim"
 )
 
@@ -25,7 +26,7 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		network  = fs.String("network", "", "network name or @spec.json (required)")
-		backend  = fs.String("backend", "timely", "backend: timely, prime, isaac or functional")
+		backend  = fs.String("backend", "timely", "backend: timely, prime, isaac, functional or timing")
 		format   = fs.String("format", "text", "output format: text or json")
 		bits     = fs.Int("bits", 0, "operand precision (timely; 8 or 16, 0 = default)")
 		chips    = fs.Int("chips", 0, "deployment size (0 = default)")
@@ -36,6 +37,8 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Uint64("seed", 0, "Monte-Carlo base seed (functional)")
 		trials   = fs.Int("trials", 0, "Monte-Carlo repeats (functional; 0 = default)")
 		sampler  = fs.String("sampler", "", "Monte-Carlo sampling regime: v3, v2 or v1 (functional; empty = backend default v3)")
+		images   = fs.Int("images", 0, "images pushed through the event-driven simulation (timing; 0 = default)")
+		traceOut = fs.String("trace", "", "write the per-wave occupancy trace to this JSON file (timing)")
 		timeout  = fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
 	)
 	fs.Usage = func() {
@@ -67,6 +70,7 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		Gamma:    *gamma,
 		Trials:   *trials,
 		Sampler:  *sampler,
+		Images:   *images,
 	}
 	// The pointer fields distinguish "flag absent" from an explicit zero
 	// (noise 0 is an ideal-timing run), so set them only when passed.
@@ -97,9 +101,34 @@ func runEvaluate(args []string, stdout, stderr io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := sim.Evaluate(ctx, &req)
+	// The trace sink is not JSON-serializable, so it rides as an extra
+	// option on top of the request.
+	var extra []sim.Option
+	var traceLog *trace.Log
+	if *traceOut != "" {
+		traceLog = &trace.Log{Source: "timing", Network: *network}
+		extra = append(extra, sim.WithTraceSink(traceLog.Emit))
+	}
+	res, err := sim.Evaluate(ctx, &req, extra...)
 	if err != nil {
 		return err
+	}
+	if traceLog != nil {
+		traceLog.Network = res.Network
+		if res.Timing != nil {
+			traceLog.CyclePS = res.Timing.CycleNS * 1000
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := traceLog.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
 	}
 
 	if *format == "json" {
@@ -151,6 +180,19 @@ func renderResult(w io.Writer, res *sim.EvalResult) {
 	}
 	if res.Fits != nil {
 		line("fits", "%t", *res.Fits)
+	}
+	if ts := res.Timing; ts != nil {
+		line("images", "%d", ts.Images)
+		line("cycle time", "%.0f ns", ts.CycleNS)
+		line("cycles/image", "%.4g (analytic %.4g, %+.4f%%)",
+			ts.CyclesPerImage, ts.AnalyticCyclesPerImage, ts.ThroughputDeltaPct)
+		line("pipeline fill", "%.4g cycles", ts.FillCycles)
+		line("latency p50/95/99", "%.3f / %.3f / %.3f ms",
+			ts.LatencyP50MS, ts.LatencyP95MS, ts.LatencyP99MS)
+		line("makespan", "%.3f ms (%d commands)", ts.MakespanMS, ts.Commands)
+		for _, u := range ts.Units {
+			line("util "+u.Role, "%.1f%% (%d units)", u.UtilizationPct, u.Units)
+		}
 	}
 	if a := res.Accuracy; a != nil {
 		if a.Float > 0 {

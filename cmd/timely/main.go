@@ -45,10 +45,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/sim"
 )
 
 func main() {
@@ -196,20 +198,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
-// list writes the experiment index — aligned text by default, or a
-// machine-readable JSON array of {id, paper, description} objects with
-// -format json.
+// list writes the experiment index and the registered sim backends —
+// aligned text by default, or a machine-readable JSON object of
+// {backends, experiments} with -format json.
 func list(w io.Writer, format string) error {
 	switch format {
 	case "text":
 		for _, e := range experiments.All() {
 			fmt.Fprintf(w, "  %-10s %-12s %s\n", e.ID, e.Paper, e.Description)
 		}
+		fmt.Fprintf(w, "\nbackends (timely evaluate -backend): %s\n", strings.Join(sim.Backends(), ", "))
 		return nil
 	case "json":
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(experiments.Index())
+		return enc.Encode(struct {
+			Backends    []string                 `json:"backends"`
+			Experiments []experiments.IndexEntry `json:"experiments"`
+		}{sim.Backends(), experiments.Index()})
 	}
 	return fmt.Errorf("unknown list format %q (want text or json)", format)
 }

@@ -100,6 +100,9 @@ func TestListAndUnknown(t *testing.T) {
 			t.Errorf("list output missing %s", id)
 		}
 	}
+	if !strings.Contains(out, "backends") || !strings.Contains(out, "timing") {
+		t.Errorf("list output missing the backend inventory:\n%s", out)
+	}
 	if err := run([]string{"fig99"}, io.Discard, io.Discard); err == nil {
 		t.Errorf("unknown experiment accepted")
 	}
@@ -202,16 +205,19 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 
 func TestListFormatJSON(t *testing.T) {
 	out := runOut(t, "list", "-format", "json")
-	var idx []struct {
-		ID          string `json:"id"`
-		Paper       string `json:"paper"`
-		Description string `json:"description"`
+	var idx struct {
+		Backends    []string `json:"backends"`
+		Experiments []struct {
+			ID          string `json:"id"`
+			Paper       string `json:"paper"`
+			Description string `json:"description"`
+		} `json:"experiments"`
 	}
 	if err := json.Unmarshal([]byte(out), &idx); err != nil {
 		t.Fatalf("list -format json is not valid JSON: %v\n%s", err, out)
 	}
 	ids := map[string]bool{}
-	for _, e := range idx {
+	for _, e := range idx.Experiments {
 		ids[e.ID] = true
 		if e.Paper == "" || e.Description == "" {
 			t.Errorf("entry %q missing paper/description", e.ID)
@@ -220,6 +226,15 @@ func TestListFormatJSON(t *testing.T) {
 	for _, want := range []string{"fig4", "table5", "accuracy", "ablation"} {
 		if !ids[want] {
 			t.Errorf("list -format json missing %s", want)
+		}
+	}
+	backends := map[string]bool{}
+	for _, b := range idx.Backends {
+		backends[b] = true
+	}
+	for _, want := range []string{"timely", "prime", "isaac", "functional", "timing"} {
+		if !backends[want] {
+			t.Errorf("list -format json missing backend %s", want)
 		}
 	}
 	// Flag order must not matter, and csv is not a list format.

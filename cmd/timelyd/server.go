@@ -388,13 +388,17 @@ func (s *server) handleExperimentIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	switch format {
 	case "json":
-		s.writeJSON(w, experiments.Index())
+		s.writeJSON(w, map[string]any{
+			"backends":    sim.Backends(),
+			"experiments": experiments.Index(),
+		})
 	case "csv":
 		w.Header().Set("Content-Type", contentType(format))
 		experimentIndexTable().RenderCSV(w)
 	default:
 		w.Header().Set("Content-Type", contentType(format))
 		experimentIndexTable().Render(w)
+		fmt.Fprintf(w, "\nbackends (POST /v1/evaluate): %s\n", strings.Join(sim.Backends(), ", "))
 	}
 }
 

@@ -130,6 +130,57 @@ func TestEvaluateHappyPath(t *testing.T) {
 	}
 }
 
+// TestEvaluateTimingBackend: the event-driven backend is reachable over the
+// wire, and its cycle-level measurement block rides on the response.
+func TestEvaluateTimingBackend(t *testing.T) {
+	ts := testServer(t)
+	status, body := postEvaluate(t, ts, `{"backend":"timing","network":"SqueezeNet","images":8}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var res struct {
+		Backend string  `json:"backend"`
+		Energy  float64 `json:"energy_mj_per_image"`
+		IPS     float64 `json:"images_per_sec"`
+		Timing  *struct {
+			Images   int     `json:"images"`
+			Commands int     `json:"commands"`
+			P50      float64 `json:"latency_p50_ms"`
+			P99      float64 `json:"latency_p99_ms"`
+			Layers   []struct {
+				Name string `json:"name"`
+			} `json:"layers"`
+			Units []struct {
+				Role string `json:"role"`
+			} `json:"units"`
+		} `json:"timing"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "timing" || res.Energy <= 0 || res.IPS <= 0 {
+		t.Errorf("result header = %+v", res)
+	}
+	if res.Timing == nil {
+		t.Fatal("response carries no timing block")
+	}
+	if res.Timing.Images < 8 || res.Timing.Commands <= 0 ||
+		res.Timing.P50 <= 0 || res.Timing.P99 < res.Timing.P50 ||
+		len(res.Timing.Layers) == 0 || len(res.Timing.Units) == 0 {
+		t.Errorf("timing block implausible: %+v", res.Timing)
+	}
+	// The analytic backends must not grow a timing block.
+	_, plain := postEvaluate(t, ts, `{"backend":"timely","network":"SqueezeNet"}`)
+	if strings.Contains(plain, `"timing"`) {
+		t.Errorf("analytic response carries a timing block: %s", plain)
+	}
+	// images only makes sense on the simulator.
+	status, body = postEvaluate(t, ts, `{"backend":"timely","network":"SqueezeNet","images":8}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("images on analytic backend: status = %d, body %s", status, body)
+	}
+}
+
 func TestEvaluateBadRequests(t *testing.T) {
 	ts := testServer(t)
 	cases := []struct {
@@ -360,15 +411,21 @@ func TestExperimentIndexNegotiation(t *testing.T) {
 	if status != http.StatusOK || !strings.Contains(ctype, "application/json") {
 		t.Fatalf("json index: status %d, type %q", status, ctype)
 	}
-	var idx []struct {
-		ID    string `json:"id"`
-		Paper string `json:"paper"`
+	var idx struct {
+		Backends    []string `json:"backends"`
+		Experiments []struct {
+			ID    string `json:"id"`
+			Paper string `json:"paper"`
+		} `json:"experiments"`
 	}
 	if err := json.Unmarshal([]byte(body), &idx); err != nil {
 		t.Fatal(err)
 	}
-	if len(idx) < 10 {
-		t.Errorf("index has %d entries", len(idx))
+	if len(idx.Experiments) < 10 {
+		t.Errorf("index has %d entries", len(idx.Experiments))
+	}
+	if len(idx.Backends) < 5 {
+		t.Errorf("index lists %d backends: %v", len(idx.Backends), idx.Backends)
 	}
 	status, body, ctype = get(t, ts, "/v1/experiments", "text/csv")
 	if status != http.StatusOK || !strings.Contains(ctype, "text/csv") ||
@@ -380,9 +437,12 @@ func TestExperimentIndexNegotiation(t *testing.T) {
 		!strings.Contains(body, "table5") {
 		t.Errorf("text index: status %d, type %q", status, ctype)
 	}
+	if !strings.Contains(body, "backends") || !strings.Contains(body, "timing") {
+		t.Errorf("text index missing the backend inventory:\n%s", body)
+	}
 	// The query parameter overrides the Accept header.
 	status, body, _ = get(t, ts, "/v1/experiments?format=json", "text/csv")
-	if status != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+	if status != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
 		t.Errorf("format override ignored: %q", body[:40])
 	}
 	status, body, _ = get(t, ts, "/v1/experiments?format=yaml", "")

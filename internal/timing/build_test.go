@@ -1,0 +1,180 @@
+package timing
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/trace"
+)
+
+// TestBuildMirrorsAnalytic checks that the machine's capacity decision,
+// duplication and closed-form bottleneck agree with accel.Timely for every
+// zoo network — the timing backend simulates exactly the deployment the
+// analytic model prices.
+func TestBuildMirrorsAnalytic(t *testing.T) {
+	for _, name := range model.BenchmarkNames() {
+		n, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(n, params.DefaultTimely(8), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := accel.NewTimely(8, 1).Evaluate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Fits != ar.Fits {
+			t.Errorf("%s: machine fits=%v, analytic fits=%v", name, m.Fits, ar.Fits)
+		}
+		if got, want := m.AnalyticCyclesPerImage(), ar.CyclesPerImage; !approxEqual(got, want, 1e-9) {
+			t.Errorf("%s: machine analytic bottleneck %.6f, accel %.6f", name, got, want)
+		}
+		for i, s := range m.Stages {
+			if i < len(ar.Instances) && s.Instances != ar.Instances[i] {
+				t.Errorf("%s stage %d: %d instances, accel has %d", name, i, s.Instances, ar.Instances[i])
+			}
+		}
+	}
+}
+
+func approxEqual(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := b
+	if m < 0 {
+		m = -m
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d <= rel*m
+}
+
+// TestBatchingPreservesOccupancy checks the builder's core accounting
+// invariant: coalescing waves into fewer batches never changes any unit
+// role's total occupancy per image — batching only changes the granularity
+// at which overlap is resolved, so the steady-state bottleneck is
+// batch-count independent.
+func TestBatchingPreservesOccupancy(t *testing.T) {
+	n, err := model.ByName("VGG-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.DefaultTimely(8)
+	occupancy := func(batches int) map[[3]int32]int64 {
+		m, err := Build(n, cfg, Options{Images: 8, MaxBatchesPerImage: batches})
+		if err != nil {
+			t.Fatal(err)
+		}
+		occ := map[[3]int32]int64{} // (stage, image, kind) → summed duration
+		for _, c := range m.cmds {
+			occ[[3]int32{c.Stage, c.Image, int32(c.Kind)}] += c.DurPS
+		}
+		return occ
+	}
+	coarse := occupancy(1)
+	fine := occupancy(64)
+	for key, want := range coarse {
+		got := fine[key]
+		if Kind(key[2]) == KindTransfer {
+			// Per-batch beat rounding may add at most one beat per batch.
+			if got < want || got > want+64*TransferBeatPS {
+				t.Errorf("stage %d image %d transfer occupancy %d at 64 batches, %d at 1", key[0], key[1], got, want)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("stage %d image %d kind %s occupancy %d at 64 batches, %d at 1",
+				key[0], key[1], Kind(key[2]), got, want)
+		}
+	}
+}
+
+// TestHyperTransportCrossing forces every stage boundary across a chip edge
+// (χ = 1) and checks that transfers ride the shared per-chip HyperTransport
+// ports at HyperLanes width — and that the simulation still completes and
+// reports a steady interval no better than the analytic bound (the shared
+// link can only add contention, never remove work).
+func TestHyperTransportCrossing(t *testing.T) {
+	n, err := model.ByName("MLP-L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.DefaultTimely(8)
+	cfg.SubChips = 1
+	cfg.Chips = 64
+	m, err := Build(n, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := 0
+	for _, u := range m.units {
+		if strings.HasPrefix(u.name, "ht:chip") {
+			ht++
+		}
+		if strings.HasPrefix(u.name, "chan:") {
+			t.Errorf("χ=1 deployment built local channel %s; every boundary must cross", u.name)
+		}
+	}
+	if ht == 0 {
+		t.Fatal("χ=1 deployment built no HyperTransport units")
+	}
+	for _, c := range m.cmds {
+		if c.Kind != KindTransfer || c.DurPS == 0 {
+			continue
+		}
+		if c.DurPS%TransferBeatPS != 0 {
+			t.Fatalf("transfer duration %d not beat-aligned", c.DurPS)
+		}
+	}
+	res, err := m.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesPerImage < res.AnalyticCyclesPerImage*(1-1e-9) {
+		t.Errorf("contended deployment measured %.4f cycles/image, below the analytic bound %.4f",
+			res.CyclesPerImage, res.AnalyticCyclesPerImage)
+	}
+}
+
+// TestRunDeterministicRepeat runs the same machine twice and requires
+// identical results and identical span streams — the determinism contract
+// every downstream golden depends on.
+func TestRunDeterministicRepeat(t *testing.T) {
+	n, err := model.ByName("SqueezeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Result, []trace.Span) {
+		m, err := Build(n, params.DefaultTimely(8), Options{Images: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spans []trace.Span
+		res, err := m.Run(context.Background(), func(s trace.Span) { spans = append(spans, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, spans
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("results differ across repeated runs:\n%+v\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("span streams differ across repeated runs (%d vs %d spans)", len(s1), len(s2))
+	}
+	if len(s1) != r1.Commands {
+		t.Errorf("emitted %d spans for %d commands", len(s1), r1.Commands)
+	}
+}

@@ -1,0 +1,87 @@
+package timing
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/model"
+	"repro/internal/params"
+)
+
+// crossValTolerancePct is the pinned cross-validation tolerance: the timing
+// backend's measured steady-state throughput must land within this fraction
+// of the analytic TIMELY model on every Table III zoo network. The
+// event-driven simulation reproduces the closed-form bottleneck exactly at
+// the Table II design point (transfers overlap compute, the DTC/TDC banks
+// pace the pipeline), so the budget only covers steady-window measurement
+// granularity.
+const crossValTolerancePct = 0.5
+
+// crossValLine is one golden row, formatted deterministically.
+func crossValLine(name string, res *Result, ar *accel.Result) string {
+	return fmt.Sprintf("%-12s meas=%12.4f analytic=%12.4f delta=%+.4f%% fill=%10.1f p50=%12.0f p95=%12.0f p99=%12.0f\n",
+		name, res.CyclesPerImage, ar.CyclesPerImage, res.ThroughputDeltaPct,
+		res.FillCycles, res.LatencyP50PS, res.LatencyP95PS, res.LatencyP99PS)
+}
+
+// TestCrossValidationZoo simulates every Table III zoo network on the
+// timing backend and cross-checks its measured steady-state throughput
+// against the analytic TIMELY model (accel.Timely), within the pinned
+// tolerance. The full per-network table — measured and analytic
+// cycles/image, throughput delta, pipeline fill, and the latency
+// percentiles only the timing backend can produce — is locked byte-for-byte
+// against testdata/crossval.golden. Regenerate (only after an intentional
+// modelling change) with:
+//
+//	TIMING_CROSSVAL_UPDATE=1 go test ./internal/timing -run TestCrossValidationZoo
+func TestCrossValidationZoo(t *testing.T) {
+	var got bytes.Buffer
+	cfg := params.DefaultTimely(8)
+	for _, name := range model.BenchmarkNames() {
+		n, err := model.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(context.Background(), n, cfg, Options{}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ar, err := accel.NewTimely(8, 1).Evaluate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(res.AnalyticCyclesPerImage, ar.CyclesPerImage, 1e-9) {
+			t.Errorf("%s: machine analytic %.6f cycles/image, accel %.6f",
+				name, res.AnalyticCyclesPerImage, ar.CyclesPerImage)
+		}
+		delta := res.ThroughputDeltaPct
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > crossValTolerancePct {
+			t.Errorf("%s: measured %.2f img/s vs analytic %.2f img/s (%+.4f%%), beyond the %.1f%% tolerance",
+				name, res.ImagesPerSec, ar.ImagesPerSec, res.ThroughputDeltaPct, crossValTolerancePct)
+		}
+		got.WriteString(crossValLine(name, res, ar))
+	}
+
+	golden := filepath.Join("testdata", "crossval.golden")
+	if os.Getenv("TIMING_CROSSVAL_UPDATE") != "" {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("cross-validation table differs from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, got.String(), want)
+	}
+}

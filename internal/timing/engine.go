@@ -1,0 +1,272 @@
+package timing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// None marks an absent command dependency.
+const None = int32(-1)
+
+// Command is one scheduled operation: it occupies unit Unit exclusively
+// for DurPS picoseconds, and may issue only after its (up to two) explicit
+// dependencies have completed. Commands on one unit additionally serialize
+// through the unit's queue, which issues in (ready time, command index)
+// order — the FCFS issue rule.
+type Command struct {
+	// Kind classifies the operation (for traces and utilization buckets).
+	Kind Kind
+	// Unit indexes the machine's unit table.
+	Unit int32
+	// DurPS is the unit occupancy in picoseconds (≥ 0).
+	DurPS int64
+	// Dep0 and Dep1 index commands that must complete before this one
+	// issues; None for absent.
+	Dep0, Dep1 int32
+	// Stage is the pipeline-stage (weighted-layer) index the command
+	// belongs to; transfers carry the producing stage.
+	Stage int32
+	// Image is the 0-based image the command works on.
+	Image int32
+	// Wave0 and Waves give the wave range the command covers.
+	Wave0 int64
+	Waves int64
+}
+
+// ErrDeadlock reports that execution stopped with commands still pending —
+// a dependency cycle or a dependency on a command that can never complete.
+var ErrDeadlock = errors.New("timing: deadlocked with commands pending")
+
+// issueEntry is one queued-but-not-issued command on a unit, ordered by
+// (ready, idx).
+type issueEntry struct {
+	ready int64
+	idx   int32
+}
+
+// issueHeap is a binary min-heap of issueEntry (hand-rolled: the engine is
+// the hot loop and interface-based heaps allocate).
+type issueHeap []issueEntry
+
+func (h *issueHeap) push(e issueEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].ready < q[i].ready || (q[p].ready == q[i].ready && q[p].idx < q[i].idx) {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+}
+
+func (h *issueHeap) pop() issueEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	*h = q[:last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(q) && (q[l].ready < q[m].ready || (q[l].ready == q[m].ready && q[l].idx < q[m].idx)) {
+			m = l
+		}
+		if r < len(q) && (q[r].ready < q[m].ready || (q[r].ready == q[m].ready && q[r].idx < q[m].idx)) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[m], q[i] = q[i], q[m]
+		i = m
+	}
+	return top
+}
+
+// doneEntry is one in-flight command completion, ordered by (finish, idx)
+// so simultaneous completions process in deterministic command order.
+type doneEntry struct {
+	finish int64
+	idx    int32
+}
+
+type doneHeap []doneEntry
+
+func (h *doneHeap) push(e doneEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].finish < q[i].finish || (q[p].finish == q[i].finish && q[p].idx < q[i].idx) {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+}
+
+func (h *doneHeap) pop() doneEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	*h = q[:last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(q) && (q[l].finish < q[m].finish || (q[l].finish == q[m].finish && q[l].idx < q[m].idx)) {
+			m = l
+		}
+		if r < len(q) && (q[r].finish < q[m].finish || (q[r].finish == q[m].finish && q[r].idx < q[m].idx)) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[m], q[i] = q[i], q[m]
+		i = m
+	}
+	return top
+}
+
+// ctxCheckInterval is how many completion events pass between context
+// polls — the "between work units" granularity of cancellation.
+const ctxCheckInterval = 1 << 14
+
+// Execute runs the command list to completion on numUnits exclusive units
+// and reports every command's realised occupancy through visit (in
+// completion order; visit may be nil). The simulation is event-driven:
+// a command becomes ready when its dependencies complete, queues on its
+// unit, and the unit issues queued commands one at a time in (ready time,
+// command index) order. Execution is fully deterministic — equal inputs
+// produce identical schedules on every run at any host parallelism, since
+// the engine itself is serial and all ties break on command index.
+//
+// Execute validates the command list up front (unit indices in range,
+// non-negative durations, dependency indices in range and non-self) and
+// fails with ErrDeadlock if a dependency cycle stalls progress. ctx is
+// polled between event batches; its error is returned once it fires.
+func Execute(ctx context.Context, cmds []Command, numUnits int, visit func(idx int32, startPS, endPS int64)) error {
+	n := len(cmds)
+	if numUnits <= 0 && n > 0 {
+		return fmt.Errorf("timing: %d commands on %d units", n, numUnits)
+	}
+	indeg := make([]int8, n)
+	for i := range cmds {
+		c := &cmds[i]
+		if c.Unit < 0 || int(c.Unit) >= numUnits {
+			return fmt.Errorf("timing: command %d names unit %d of %d", i, c.Unit, numUnits)
+		}
+		if c.DurPS < 0 {
+			return fmt.Errorf("timing: command %d has negative duration %d", i, c.DurPS)
+		}
+		for _, d := range [2]int32{c.Dep0, c.Dep1} {
+			if d == None {
+				continue
+			}
+			if d < 0 || int(d) >= n || d == int32(i) {
+				return fmt.Errorf("timing: command %d has invalid dependency %d", i, d)
+			}
+			indeg[i]++
+		}
+	}
+	// Dependents in CSR form: off[i]..off[i+1] index deps' dependents.
+	off := make([]int32, n+1)
+	for i := range cmds {
+		if d := cmds[i].Dep0; d != None {
+			off[d+1]++
+		}
+		if d := cmds[i].Dep1; d != None {
+			off[d+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]int32, off[n])
+	fill := make([]int32, n)
+	for i := range cmds {
+		for _, d := range [2]int32{cmds[i].Dep0, cmds[i].Dep1} {
+			if d != None {
+				adj[off[d]+fill[d]] = int32(i)
+				fill[d]++
+			}
+		}
+	}
+
+	readyAt := make([]int64, n)
+	start := make([]int64, n)
+	busy := make([]bool, numUnits)
+	queues := make([]issueHeap, numUnits)
+	var done doneHeap
+
+	tryIssue := func(u int32, now int64) {
+		if busy[u] || len(queues[u]) == 0 {
+			return
+		}
+		e := queues[u].pop()
+		s := now
+		if e.ready > s {
+			s = e.ready
+		}
+		start[e.idx] = s
+		busy[u] = true
+		done.push(doneEntry{finish: s + cmds[e.idx].DurPS, idx: e.idx})
+	}
+
+	for i := range cmds {
+		if indeg[i] == 0 {
+			queues[cmds[i].Unit].push(issueEntry{ready: 0, idx: int32(i)})
+		}
+	}
+	for u := range queues {
+		tryIssue(int32(u), 0)
+	}
+
+	completed := 0
+	for len(done) > 0 {
+		if completed%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := done.pop()
+		i := e.idx
+		completed++
+		busy[cmds[i].Unit] = false
+		if visit != nil {
+			visit(i, start[i], e.finish)
+		}
+		for _, d := range adj[off[i]:off[i+1]] {
+			if e.finish > readyAt[d] {
+				readyAt[d] = e.finish
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				u := cmds[d].Unit
+				queues[u].push(issueEntry{ready: readyAt[d], idx: d})
+				tryIssue(u, e.finish)
+			}
+		}
+		tryIssue(cmds[i].Unit, e.finish)
+	}
+	if completed != n {
+		for i := range cmds {
+			if indeg[i] > 0 {
+				return fmt.Errorf("%w: %d of %d completed, command %d still waiting on dependencies",
+					ErrDeadlock, completed, n, i)
+			}
+		}
+		return fmt.Errorf("%w: %d of %d completed", ErrDeadlock, completed, n)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package timing
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestExecuteFCFSAndDeps pins the issue rules on a hand-built command set:
+// units serialize their queues in (ready, index) order, and dependencies
+// gate readiness.
+func TestExecuteFCFSAndDeps(t *testing.T) {
+	cmds := []Command{
+		{Unit: 0, DurPS: 10, Dep0: None, Dep1: None}, // A: [0,10)
+		{Unit: 0, DurPS: 5, Dep0: None, Dep1: None},  // B: queued behind A, [10,15)
+		{Unit: 1, DurPS: 3, Dep0: 0, Dep1: None},     // C: ready at 10, [10,13)
+		{Unit: 1, DurPS: 4, Dep0: 1, Dep1: 2},        // D: ready at 15, [15,19)
+	}
+	want := [][2]int64{{0, 10}, {10, 15}, {10, 13}, {15, 19}}
+	got := make([][2]int64, len(cmds))
+	if err := Execute(context.Background(), cmds, 2, func(idx int32, s, e int64) {
+		got[idx] = [2]int64{s, e}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("command %d ran %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExecuteNarrationCrossCheck replays the §IV-E intra-pipeline narration
+// through the event engine and checks it against the closed-form
+// trace.IntraPipeline occupancy, span for span: five items through the
+// five-stage pipeline, the first write landing at the fifth cycle.
+func TestExecuteNarrationCrossCheck(t *testing.T) {
+	const items = 5
+	const cyclePS = int64(200000)
+	var cmds []Command
+	for item := 1; item <= items; item++ {
+		for s := 0; s < int(trace.NumStages); s++ {
+			dep := None
+			if s > 0 {
+				dep = int32(len(cmds) - 1)
+			}
+			cmds = append(cmds, Command{Unit: int32(s), DurPS: cyclePS, Dep0: dep, Dep1: None})
+		}
+	}
+	start := make(map[[2]int]int64) // (stage, item) → start
+	var firstWriteEnd int64
+	if err := Execute(context.Background(), cmds, int(trace.NumStages), func(idx int32, s, e int64) {
+		item := int(idx)/int(trace.NumStages) + 1
+		stage := int(idx) % int(trace.NumStages)
+		start[[2]int{stage, item}] = s
+		if stage == int(trace.StageWrite) && item == 1 {
+			firstWriteEnd = e
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * cyclePS; firstWriteEnd != want {
+		t.Errorf("first item written back at %d ps, want the fifth cycle (%d ps)", firstWriteEnd, want)
+	}
+	trace.IntraPipeline{Items: items}.Simulate(func(ev trace.Event) {
+		span := ev.Span(cyclePS)
+		got, ok := start[[2]int{int(ev.Stage), int(ev.Item)}]
+		if !ok {
+			t.Fatalf("engine never ran stage %v item %d", ev.Stage, ev.Item)
+		}
+		if got != span.StartPS {
+			t.Errorf("stage %v item %d started at %d ps, closed form says %d ps",
+				ev.Stage, ev.Item, got, span.StartPS)
+		}
+	})
+}
+
+// TestExecuteDeadlock reports a dependency cycle instead of hanging.
+func TestExecuteDeadlock(t *testing.T) {
+	cmds := []Command{
+		{Unit: 0, DurPS: 1, Dep0: 1, Dep1: None},
+		{Unit: 0, DurPS: 1, Dep0: 0, Dep1: None},
+	}
+	err := Execute(context.Background(), cmds, 1, nil)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cyclic commands returned %v, want ErrDeadlock", err)
+	}
+}
+
+// TestExecuteValidation rejects malformed command lists up front.
+func TestExecuteValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cmds []Command
+		n    int
+	}{
+		{"unit out of range", []Command{{Unit: 3, Dep0: None, Dep1: None}}, 2},
+		{"negative duration", []Command{{Unit: 0, DurPS: -1, Dep0: None, Dep1: None}}, 1},
+		{"dep out of range", []Command{{Unit: 0, Dep0: 7, Dep1: None}}, 1},
+		{"self dep", []Command{{Unit: 0, Dep0: 0, Dep1: None}}, 1},
+		{"no units", []Command{{Unit: 0, Dep0: None, Dep1: None}}, 0},
+	}
+	for _, tc := range cases {
+		if err := Execute(context.Background(), tc.cmds, tc.n, nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestExecuteCanceled honours context cancellation.
+func TestExecuteCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Execute(ctx, []Command{{Unit: 0, DurPS: 1, Dep0: None, Dep1: None}}, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -11,7 +11,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // Stage enumerates the intra-sub-chip pipeline stages in dataflow order.
@@ -48,6 +50,77 @@ type Event struct {
 	Cycle int64
 	Stage Stage
 	Item  int64
+}
+
+// Span is one unit-occupancy interval in real time — the shared event
+// vocabulary between the closed-form pipeline cross-checks in this package
+// and the event-driven timing backend (internal/timing). A Span says: unit
+// U performed operation Op for waves [Wave0, Wave0+Waves) of image Image
+// during [StartPS, EndPS).
+type Span struct {
+	// Unit names the occupied resource (e.g. "conv1_1#0/dtc_convert" or
+	// "link:conv1_1->conv2_1").
+	Unit string `json:"unit"`
+	// Op is the command kind performed ("input_load", "dtc_convert", ...).
+	Op string `json:"op"`
+	// Stage is the intra-sub-chip pipeline stage the operation realises
+	// ("read", "dtc", "analog", "tdc", "write"), or "" for operations
+	// outside the five-stage pipeline (inter-sub-chip transfers).
+	Stage string `json:"stage,omitempty"`
+	// Layer names the network layer the work belongs to.
+	Layer string `json:"layer,omitempty"`
+	// Image is the 0-based image index the work belongs to.
+	Image int `json:"image"`
+	// Wave0 and Waves give the pipeline-wave range the span covers.
+	Wave0 int64 `json:"wave0"`
+	Waves int64 `json:"waves"`
+	// StartPS and EndPS bound the occupancy in picoseconds.
+	StartPS int64 `json:"start_ps"`
+	EndPS   int64 `json:"end_ps"`
+}
+
+// Sink receives occupancy spans as a simulation emits them.
+type Sink interface {
+	Emit(Span)
+}
+
+// Span converts one closed-form intra-pipeline occupancy event into the
+// shared Span vocabulary, placing it on the real-time axis with the given
+// pipeline-cycle time. Items map to waves (one item = one wave of one
+// image 0).
+func (e Event) Span(cyclePS int64) Span {
+	return Span{
+		Unit:    "intra/" + e.Stage.String(),
+		Op:      e.Stage.String(),
+		Stage:   e.Stage.String(),
+		Wave0:   e.Item - 1,
+		Waves:   1,
+		StartPS: (e.Cycle - 1) * cyclePS,
+		EndPS:   e.Cycle * cyclePS,
+	}
+}
+
+// Log collects spans in emission order and serializes them with their
+// run metadata — the format `timely evaluate -trace out.json` writes.
+type Log struct {
+	// Source names the emitting simulator ("timing", "intra").
+	Source string `json:"source"`
+	// Network names the simulated model, when one applies.
+	Network string `json:"network,omitempty"`
+	// CyclePS is the pipeline-cycle time of the run in ps.
+	CyclePS float64 `json:"cycle_ps,omitempty"`
+	// Spans is the event list, in completion order.
+	Spans []Span `json:"spans"`
+}
+
+// Emit implements Sink.
+func (l *Log) Emit(s Span) { l.Spans = append(l.Spans, s) }
+
+// WriteJSON serializes the log as one indented JSON document.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
 }
 
 // IntraPipeline models the five-stage pipeline over a stream of data items.

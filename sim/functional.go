@@ -29,7 +29,7 @@ type functional struct {
 }
 
 func newFunctional(cfg *Config) (Backend, error) {
-	if err := cfg.reject("functional", optBits, optChips, optSubChips, optGamma); err != nil {
+	if err := cfg.reject("functional", optBits, optChips, optSubChips, optGamma, optImages, optTrace); err != nil {
 		return nil, err
 	}
 	return &functional{cfg: *cfg}, nil

@@ -33,6 +33,12 @@ type Config struct {
 	// counter-based v3 by default, v1/v2 for the earlier byte-pinned
 	// streams.
 	Sampler stats.SamplerVersion
+	// Images is the image count the event-driven simulation pushes through
+	// the pipeline (timing); 0 keeps the backend default.
+	Images int
+	// TraceSink receives per-command occupancy spans as the event-driven
+	// simulation completes them (timing).
+	TraceSink func(TraceSpan)
 
 	set map[string]bool
 }
@@ -48,6 +54,8 @@ const (
 	optSeed      = "seed"
 	optTrials    = "trials"
 	optSampler   = "sampler"
+	optImages    = "images"
+	optTrace     = "trace"
 )
 
 func (c *Config) mark(key string) {
@@ -182,6 +190,38 @@ func WithTrials(n int) Option {
 		}
 		c.Trials = n
 		c.mark(optTrials)
+		return nil
+	}
+}
+
+// WithImages sets how many images the timing backend's event-driven
+// simulation pushes through the pipeline. More images sharpen the
+// steady-state measurement and the latency percentiles at proportional
+// simulation cost; the backend widens the count as needed to cover at
+// least three full rounds of every replicated instance.
+func WithImages(n int) Option {
+	return func(c *Config) error {
+		if n < 1 || n > 4096 {
+			return fmt.Errorf("%w: images must be in [1,4096], got %d", ErrInvalidOption, n)
+		}
+		c.Images = n
+		c.mark(optImages)
+		return nil
+	}
+}
+
+// WithTraceSink registers a callback that receives every command's
+// realised unit occupancy as the timing backend's event-driven simulation
+// completes it — the per-wave trace stream `timely evaluate -trace`
+// serializes. The stream is deterministic: equal configurations emit
+// identical spans in identical order.
+func WithTraceSink(fn func(TraceSpan)) Option {
+	return func(c *Config) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil trace sink", ErrInvalidOption)
+		}
+		c.TraceSink = fn
+		c.mark(optTrace)
 		return nil
 	}
 }

@@ -145,6 +145,9 @@ type EvalRequest struct {
 	// "v3" (the counter-based default), or "v1"/"v2" for the earlier
 	// byte-pinned streams; see WithSampler.
 	Sampler string `json:"sampler,omitempty"`
+	// Images is the image count the event-driven simulation pushes through
+	// the pipeline (timing); see WithImages.
+	Images int `json:"images,omitempty"`
 }
 
 // options converts the request's set fields to functional options.
@@ -176,6 +179,9 @@ func (r *EvalRequest) options() []Option {
 	}
 	if r.Sampler != "" {
 		opts = append(opts, WithSampler(r.Sampler))
+	}
+	if r.Images != 0 {
+		opts = append(opts, WithImages(r.Images))
 	}
 	return opts
 }
@@ -257,6 +263,10 @@ type EvalResult struct {
 	MovementByClass []ClassEnergy `json:"movement_by_class,omitempty"`
 	// Accuracy is the functional backend's Monte-Carlo study.
 	Accuracy *AccuracyStats `json:"accuracy,omitempty"`
+	// Timing is the event-driven backend's cycle-level measurement:
+	// makespan, fill, per-image latency distribution, per-layer stalls and
+	// per-unit utilizations ("timing" backend only).
+	Timing *TimingStats `json:"timing,omitempty"`
 	// ElapsedMS is the evaluation's wall-clock compute time.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
@@ -264,8 +274,10 @@ type EvalResult struct {
 // Evaluate opens req.Backend with the request's options and evaluates
 // req.Network — or, when req.Spec is set, compiles and evaluates the
 // inline custom network. It is the one-call form of the facade, and the
-// exact semantics of timelyd's POST /v1/evaluate.
-func Evaluate(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
+// exact semantics of timelyd's POST /v1/evaluate. The variadic extra
+// options apply after the request's own — the hook callers use to attach
+// non-serializable options such as WithTraceSink to a JSON request.
+func Evaluate(ctx context.Context, req *EvalRequest, extra ...Option) (*EvalResult, error) {
 	if req.Backend == "" {
 		return nil, fmt.Errorf("%w: request names no backend", ErrUnknownBackend)
 	}
@@ -276,7 +288,7 @@ func Evaluate(ctx context.Context, req *EvalRequest) (*EvalResult, error) {
 		return nil, fmt.Errorf("%w: request names network %q but the inline spec is %q",
 			ErrInvalidSpec, req.Network, req.Spec.Name)
 	}
-	b, err := Open(req.Backend, req.options()...)
+	b, err := Open(req.Backend, append(req.options(), extra...)...)
 	if err != nil {
 		return nil, err
 	}
