@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -40,6 +41,16 @@ type Config struct {
 	MaxRetries int
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// DupRatio shapes the workload for the server's batching layer: the
+	// fraction of logical requests (0..1) that send the shared hot Body,
+	// spread evenly over the schedule. The rest rotate through the spec
+	// pool. 0 (the default) sends Body on every request.
+	DupRatio float64
+	// SpecPool sizes the pool of distinct deterministic inline-spec
+	// bodies the non-duplicate fraction rotates through — each pool entry
+	// has its own spec hash, so a pool wider than the server's cache
+	// forces evictions. 0 or 1 means no pool: every request sends Body.
+	SpecPool int
 	// Client overrides the HTTP client (tests); nil uses a default with
 	// a per-attempt timeout.
 	Client *http.Client
@@ -72,6 +83,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 2 * time.Second
+	}
+	if c.DupRatio < 0 || c.DupRatio > 1 {
+		return fmt.Errorf("loadgen: dup-ratio must be in [0,1] (got %g)", c.DupRatio)
+	}
+	if c.SpecPool < 0 {
+		return fmt.Errorf("loadgen: spec-pool must be >= 0 (got %d)", c.SpecPool)
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -115,6 +132,16 @@ type Report struct {
 	ShedRate      float64          `json:"shed_rate"`
 	StatusCounts  map[string]int64 `json:"status_counts"`
 	Latency       LatencySummary   `json:"latency"`
+
+	// Batching-layer counters, parsed from the Cache-Status response
+	// header timelyd stamps on every successful evaluate (hit, miss,
+	// coalesced). Rates are over attempts that carried the header, so a
+	// target without the batching layer reports zeros, not noise.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	Coalesced    int64   `json:"coalesced"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CoalesceRate float64 `json:"coalesce_rate"`
 }
 
 // collector accumulates worker results under one lock; the hot path is
@@ -134,6 +161,65 @@ func (c *collector) status(code int) {
 	c.report.StatusCounts[strconv.Itoa(code)]++
 }
 
+func (c *collector) cacheStatus(cs string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch cs {
+	case "hit":
+		c.report.CacheHits++
+	case "miss":
+		c.report.CacheMisses++
+	case "coalesced":
+		c.report.Coalesced++
+	}
+}
+
+// workload deterministically assigns each logical request its body: the
+// hot body for an evenly-spread DupRatio fraction (Bresenham over the
+// request index, so the mix is exact regardless of run length), the spec
+// pool round-robin for the rest.
+type workload struct {
+	hot   string
+	pool  []string
+	ratio float64
+	seq   atomic.Int64
+	cold  atomic.Int64
+}
+
+func newWorkload(cfg *Config) *workload {
+	w := &workload{hot: cfg.Body, ratio: cfg.DupRatio}
+	if cfg.SpecPool > 1 {
+		w.pool = make([]string, cfg.SpecPool)
+		for k := range w.pool {
+			w.pool[k] = poolBody(k)
+		}
+	}
+	return w
+}
+
+// poolBody builds the k-th cold request: an inline analytic spec whose
+// name and width differ per entry, so every pool slot has its own spec
+// hash (and therefore its own server-side cache key), disjoint from any
+// hot body naming a zoo network.
+func poolBody(k int) string {
+	return fmt.Sprintf(`{"backend":"timely","spec":{"name":"loadgen-pool-%d",`+
+		`"input":{"c":3,"h":32,"w":32},"layers":[`+
+		`{"name":"conv1","kind":"conv","filters":%d,"kernel":3,"pad":1},`+
+		`{"name":"out","kind":"fc","units":10}]}}`, k, 8+k)
+}
+
+func (w *workload) next() string {
+	i := w.seq.Add(1) - 1
+	if w.ratio > 0 && int64(float64(i+1)*w.ratio) > int64(float64(i)*w.ratio) {
+		return w.hot
+	}
+	if len(w.pool) == 0 {
+		return w.hot
+	}
+	k := w.cold.Add(1) - 1
+	return w.pool[int(k%int64(len(w.pool)))]
+}
+
 // Run executes the configured load against the service and returns the
 // aggregated report. ctx cancellation stops the run early (the report
 // covers what was sent).
@@ -147,6 +233,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	col.report.RPSTarget = cfg.RPS
 	col.report.Concurrency = cfg.Concurrency
 
+	wl := newWorkload(&cfg)
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -154,7 +241,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for range jobs {
-				oneRequest(ctx, &cfg, target, col)
+				oneRequest(ctx, &cfg, target, wl.next(), col)
 			}
 		}()
 	}
@@ -202,6 +289,10 @@ schedule:
 	if r.Attempts > 0 {
 		r.ShedRate = float64(r.Shed) / float64(r.Attempts)
 	}
+	if stamped := r.CacheHits + r.CacheMisses + r.Coalesced; stamped > 0 {
+		r.CacheHitRate = float64(r.CacheHits) / float64(stamped)
+		r.CoalesceRate = float64(r.Coalesced) / float64(stamped)
+	}
 	if len(col.latencies) > 0 {
 		sort.Float64s(col.latencies)
 		r.Latency = summarize(col.latencies)
@@ -231,11 +322,12 @@ func summarize(sorted []float64) LatencySummary {
 
 // oneRequest executes one logical request: the initial attempt plus up to
 // MaxRetries retries of shed responses, with Retry-After-aware backoff.
-func oneRequest(ctx context.Context, cfg *Config, target string, col *collector) {
+// The body is fixed per logical request (retries resend the same bytes).
+func oneRequest(ctx context.Context, cfg *Config, target, body string, col *collector) {
 	start := time.Now()
 	backoff := cfg.Backoff
 	for attempt := 0; ; attempt++ {
-		code, retryAfter, err := oneAttempt(ctx, cfg, target)
+		code, cacheStatus, retryAfter, err := oneAttempt(ctx, cfg, target, body)
 		col.mu.Lock()
 		col.report.Attempts++
 		col.mu.Unlock()
@@ -248,6 +340,7 @@ func oneRequest(ctx context.Context, cfg *Config, target string, col *collector)
 			return
 		}
 		col.status(code)
+		col.cacheStatus(cacheStatus)
 		switch {
 		case code >= 200 && code < 300:
 			col.mu.Lock()
@@ -303,23 +396,24 @@ func oneRequest(ctx context.Context, cfg *Config, target string, col *collector)
 	}
 }
 
-// oneAttempt issues a single HTTP exchange and returns the status code
-// plus any Retry-After hint (0 when absent or unparseable).
-func oneAttempt(ctx context.Context, cfg *Config, target string) (int, time.Duration, error) {
+// oneAttempt issues a single HTTP exchange and returns the status code,
+// the Cache-Status header ("" when absent) and any Retry-After hint (0
+// when absent or unparseable).
+func oneAttempt(ctx context.Context, cfg *Config, target, payload string) (int, string, time.Duration, error) {
 	var body io.Reader
-	if cfg.Body != "" {
-		body = strings.NewReader(cfg.Body)
+	if payload != "" {
+		body = strings.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, cfg.Method, target, body)
 	if err != nil {
-		return 0, 0, err
+		return 0, "", 0, err
 	}
-	if cfg.Body != "" {
+	if payload != "" {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, "", 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -329,5 +423,5 @@ func oneAttempt(ctx context.Context, cfg *Config, target string) (int, time.Dura
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, resp.Header.Get("Cache-Status"), retryAfter, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -202,10 +203,125 @@ func TestConfigValidation(t *testing.T) {
 		{URL: "http://x", RPS: 0}, // no rate
 		{URL: "http://x", RPS: 5}, // no duration
 		{URL: "http://x", RPS: -1, Duration: time.Second},
+		{URL: "http://x", RPS: 5, Duration: time.Second, DupRatio: 1.5},
+		{URL: "http://x", RPS: 5, Duration: time.Second, DupRatio: -0.1},
+		{URL: "http://x", RPS: 5, Duration: time.Second, SpecPool: -1},
 	}
 	for i, cfg := range cases {
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+	}
+}
+
+// TestWorkloadShaping pins the deterministic body schedule: an exact
+// DupRatio fraction of requests gets the hot body, evenly spread, and the
+// cold remainder round-robins the pool of distinct inline specs.
+func TestWorkloadShaping(t *testing.T) {
+	cfg := Config{Body: "HOT", DupRatio: 0.8, SpecPool: 4}
+	wl := newWorkload(&cfg)
+	hot := 0
+	cold := map[string]int{}
+	for i := 0; i < 100; i++ {
+		b := wl.next()
+		if b == "HOT" {
+			hot++
+		} else {
+			cold[b]++
+		}
+	}
+	if hot != 80 {
+		t.Errorf("hot requests = %d of 100 at dup-ratio 0.8, want 80", hot)
+	}
+	if len(cold) != 4 {
+		t.Errorf("cold pool produced %d distinct bodies, want 4", len(cold))
+	}
+	for b, n := range cold {
+		if n != 5 {
+			t.Errorf("cold body %q sent %d times, want 5 (round-robin)", b[:40], n)
+		}
+		if !strings.Contains(b, `"spec"`) || !strings.Contains(b, "loadgen-pool-") {
+			t.Errorf("cold body is not an inline pool spec: %s", b)
+		}
+	}
+	// No shaping flags → the classic single-body workload.
+	plain := newWorkload(&Config{Body: "HOT"})
+	for i := 0; i < 10; i++ {
+		if plain.next() != "HOT" {
+			t.Fatal("unshaped workload varied the body")
+		}
+	}
+	// Evenness, not front-loading: every window of 5 has exactly 4 hot.
+	wl2 := newWorkload(&Config{Body: "HOT", DupRatio: 0.8, SpecPool: 2})
+	for w := 0; w < 10; w++ {
+		h := 0
+		for i := 0; i < 5; i++ {
+			if wl2.next() == "HOT" {
+				h++
+			}
+		}
+		if h != 4 {
+			t.Errorf("window %d: %d hot of 5, want 4", w, h)
+		}
+	}
+}
+
+// TestCacheStatusReporting: the report tallies the server's Cache-Status
+// headers and derives hit/coalesce rates from them.
+func TestCacheStatusReporting(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 1, 2:
+			w.Header().Set("Cache-Status", "hit")
+		case 3:
+			w.Header().Set("Cache-Status", "coalesced")
+		default:
+			w.Header().Set("Cache-Status", "miss")
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	report, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		RPS:         200,
+		Concurrency: 1, // sequential, so the 4-cycle schedule is exact
+		Duration:    300 * time.Millisecond,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := report.CacheHits + report.CacheMisses + report.Coalesced
+	if total != report.Attempts || total == 0 {
+		t.Fatalf("Cache-Status tally %d != attempts %d", total, report.Attempts)
+	}
+	if report.CacheHits == 0 || report.Coalesced == 0 || report.CacheMisses == 0 {
+		t.Errorf("counts = hits %d, misses %d, coalesced %d — all should move",
+			report.CacheHits, report.CacheMisses, report.Coalesced)
+	}
+	wantHit := float64(report.CacheHits) / float64(total)
+	if report.CacheHitRate != wantHit {
+		t.Errorf("cache hit rate = %g, want %g", report.CacheHitRate, wantHit)
+	}
+	wantCo := float64(report.Coalesced) / float64(total)
+	if report.CoalesceRate != wantCo {
+		t.Errorf("coalesce rate = %g, want %g", report.CoalesceRate, wantCo)
+	}
+	// A server that never stamps the header yields zeros, not NaNs.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer plain.Close()
+	r2, err := Run(context.Background(), Config{
+		URL: plain.URL, RPS: 200, Concurrency: 1,
+		Duration: 100 * time.Millisecond, Client: plain.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHitRate != 0 || r2.CoalesceRate != 0 {
+		t.Errorf("headerless target produced rates: %+v", r2)
 	}
 }

@@ -10,10 +10,17 @@
 // (429/503) are retried up to -retries times with exponential backoff,
 // honoring the server's Retry-After header (capped at -max-backoff).
 //
+// Workload shaping for the server's batching layer: -dup-ratio sends the
+// shared -body on that fraction of requests (evenly spread), while the
+// rest rotate through -spec-pool deterministic inline-spec bodies with
+// distinct spec hashes. The report parses timelyd's Cache-Status response
+// headers into cache-hit and coalesce counts and rates.
+//
 // Usage:
 //
 //	timely-loadgen -url http://127.0.0.1:8080 -rps 20 -concurrency 8 -duration 10s
 //	timely-loadgen -path /v1/experiments/table5 -method GET -body '' -rps 5
+//	timely-loadgen -rps 50 -dup-ratio 0.8 -spec-pool 16 -duration 10s
 //
 // Flags:
 //
@@ -28,6 +35,8 @@
 //	-backoff <dur>       initial retry backoff (default 100ms)
 //	-max-backoff <dur>   backoff/Retry-After cap (default 2s)
 //	-request-timeout <d> per-attempt HTTP timeout (default 30s)
+//	-dup-ratio <f>       fraction of requests sending the shared -body (default 0)
+//	-spec-pool <n>       distinct cold inline-spec bodies to rotate (default 1)
 //	-out <file>          write the JSON report here (default stdout)
 //
 // The exit status is 0 whenever the run completes, even with a 100% shed
@@ -56,6 +65,8 @@ func main() {
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff")
 	maxBackoff := flag.Duration("max-backoff", 2*time.Second, "cap on backoff and honored Retry-After")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout")
+	dupRatio := flag.Float64("dup-ratio", 0, "fraction of requests sending the shared -body (0..1)")
+	specPool := flag.Int("spec-pool", 1, "distinct cold inline-spec bodies the rest rotate through")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 
@@ -70,6 +81,8 @@ func main() {
 		MaxRetries:  *retries,
 		Backoff:     *backoff,
 		MaxBackoff:  *maxBackoff,
+		DupRatio:    *dupRatio,
+		SpecPool:    *specPool,
 		Client:      &http.Client{Timeout: *reqTimeout},
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -34,8 +35,22 @@ func chaosConfig(t *testing.T, spec string) serverConfig {
 // doEvaluate posts a small analytic evaluation and returns the response.
 func doEvaluate(t *testing.T, ts *httptest.Server) (*http.Response, string) {
 	t.Helper()
+	return doEvaluateBody(t, ts, `{"backend":"timely","network":"CNN-1"}`)
+}
+
+// doEvaluateChips posts an evaluation distinguished by its chip count —
+// the admission tests need concurrent requests that neither coalesce nor
+// batch together, so each occupies its own slot or queue position.
+func doEvaluateChips(t *testing.T, ts *httptest.Server, chips int) (*http.Response, string) {
+	t.Helper()
+	return doEvaluateBody(t, ts,
+		fmt.Sprintf(`{"backend":"timely","network":"CNN-1","chips":%d}`, chips))
+}
+
+func doEvaluateBody(t *testing.T, ts *httptest.Server, body string) (*http.Response, string) {
+	t.Helper()
 	resp, err := ts.Client().Post(ts.URL+"/v1/evaluate", "application/json",
-		strings.NewReader(`{"backend":"timely","network":"CNN-1"}`))
+		strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,25 +118,27 @@ func TestOverloadSheds(t *testing.T) {
 	defer ts.Close()
 
 	// Occupy the compute slot, then the single queue position, then
-	// offer two more requests that must bounce.
+	// offer two more requests that must bounce. Distinct chip counts keep
+	// the requests in separate batch groups, so each one contends for
+	// admission on its own.
 	var wg sync.WaitGroup
 	statuses := make(chan int, 4)
 	retryAfters := make(chan string, 4)
-	launch := func() {
+	launch := func(chips int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, _ := doEvaluate(t, ts)
+			resp, _ := doEvaluateChips(t, ts, chips)
 			statuses <- resp.StatusCode
 			retryAfters <- resp.Header.Get("Retry-After")
 		}()
 	}
-	launch() // takes the slot (sleeps 400ms inside it)
+	launch(1) // takes the slot (sleeps 400ms inside it)
 	time.Sleep(100 * time.Millisecond)
-	launch() // takes the queue position
+	launch(2) // takes the queue position
 	time.Sleep(100 * time.Millisecond)
-	launch() // queue full → 429
-	launch() // queue full → 429
+	launch(3) // queue full → 429
+	launch(4) // queue full → 429
 	wg.Wait()
 	close(statuses)
 	close(retryAfters)
@@ -165,10 +182,10 @@ func TestQueueWaitSheds(t *testing.T) {
 	wg.Add(1)
 	go func() { // slot holder
 		defer wg.Done()
-		doEvaluate(t, ts)
+		doEvaluateChips(t, ts, 1)
 	}()
 	time.Sleep(100 * time.Millisecond)
-	resp, body := doEvaluate(t, ts) // queued, must give up after 50ms
+	resp, body := doEvaluateChips(t, ts, 2) // queued, must give up after 50ms
 	wg.Wait()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
@@ -243,7 +260,9 @@ func TestPanicRecovery(t *testing.T) {
 }
 
 // TestChaosErrorInjection pins the deterministic every-Nth error
-// schedule: error=2 fails exactly requests 2 and 4.
+// schedule: error=2 fails exactly requests 2 and 4. The fault injection
+// sits in front of the result cache, so the schedule stays per-request
+// even though request 3 answers from cache.
 func TestChaosErrorInjection(t *testing.T) {
 	cfg := chaosConfig(t, "route=/v1/evaluate,error=2")
 	ts := httptest.NewServer(newServer(cfg))
@@ -306,7 +325,7 @@ func TestCheapEndpointsBypassAdmission(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		doEvaluate(t, ts) // occupies the slot for 600ms
+		doEvaluateChips(t, ts, 1) // occupies the slot for 600ms
 	}()
 	time.Sleep(100 * time.Millisecond)
 
@@ -327,7 +346,7 @@ func TestCheapEndpointsBypassAdmission(t *testing.T) {
 		t.Errorf("readyz with busy slot but no sheds: status %d body %s, want 200 ready", status, body)
 	}
 	// ...until the compute path actually sheds...
-	resp, _ := doEvaluate(t, ts)
+	resp, _ := doEvaluateChips(t, ts, 2)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("compute under load: status = %d, want 429", resp.StatusCode)
 	}
@@ -357,12 +376,19 @@ func TestMetricz(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"requests", "admitted", "shed_total", "shed_queue_full",
-		"queue_deadline", "compute_deadline", "client_gone", "panics", "in_flight", "queued"} {
+		"queue_deadline", "compute_deadline", "client_gone", "panics", "in_flight", "queued",
+		"cache_hits", "cache_misses", "cache_evictions",
+		"batches", "batched_requests", "coalesced_requests"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metricz missing %q (got %v)", key, m)
 		}
 	}
 	if m["admitted"] < 1 || m["requests"] < 2 {
 		t.Errorf("counters did not move: %v", m)
+	}
+	// The one evaluate above went through the batching layer: one miss,
+	// one single-member batch, nothing coalesced yet.
+	if m["cache_misses"] != 1 || m["batches"] != 1 || m["batched_requests"] != 1 {
+		t.Errorf("batching counters after one evaluate: %v", m)
 	}
 }

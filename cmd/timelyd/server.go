@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batchq"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -41,6 +42,24 @@ type serverConfig struct {
 	// MaxQueueWait bounds how long one request may wait for a slot
 	// before shedding with 503.
 	MaxQueueWait time.Duration
+	// BatchWindow is the gather window of the evaluate batching layer:
+	// compatible requests arriving within it group into one shared
+	// evaluation. 0 means the default (2ms); negative disables gathering
+	// (every request fires its own group immediately).
+	BatchWindow time.Duration
+	// BatchMax caps the distinct requests per batch group; a full group
+	// fires without waiting out the window. 0 means the default (32).
+	BatchMax int
+	// CacheEntries sizes the LRU result cache keyed by the request's
+	// cache key (spec hash + design options + seed). 0 means the default
+	// (4096); negative disables caching.
+	CacheEntries int
+	// NoCoalesce disables singleflight de-duplication: byte-identical
+	// concurrent requests each compute (they may still gather into one
+	// group as distinct members). Combined with a negative BatchWindow
+	// and BatchMax 1 it yields the pre-batching baseline the benchmark
+	// harness compares against.
+	NoCoalesce bool
 	// Chaos optionally injects per-route latency/errors/panics (tests
 	// and the -chaos flag).
 	Chaos *serve.Chaos
@@ -62,6 +81,15 @@ func (c *serverConfig) fillDefaults() {
 	if c.MaxQueueWait == 0 {
 		c.MaxQueueWait = 10 * time.Second
 	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 32
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -74,27 +102,45 @@ func (c *serverConfig) fillDefaults() {
 // analytic baselines, trained classifiers) live in sync.Once-keyed caches
 // that compute each value exactly once regardless of request concurrency.
 type server struct {
-	cfg     serverConfig
-	mux     *http.ServeMux
-	handler http.Handler // the composed middleware chain
-	limiter *serve.Limiter
-	metrics *serve.Metrics
-	logger  *log.Logger
-	started time.Time
+	cfg       serverConfig
+	mux       *http.ServeMux
+	handler   http.Handler // the composed middleware chain
+	limiter   *serve.Limiter
+	metrics   *serve.Metrics
+	logger    *log.Logger
+	started   time.Time
+	evalClass serve.Class
+	// evalCache holds finished /v1/evaluate response bodies keyed by the
+	// request's cache key; evalQueue coalesces in-flight evaluations
+	// (singleflight on the cache key, cross-request batching on the batch
+	// key). See handleEvaluate.
+	evalCache *batchq.Cache[[]byte]
+	evalQueue *batchq.Queue[*evalJob, []byte]
+}
+
+// evalJob is the unit the batching queue carries: the decoded request plus
+// its cache key, so the group executor can publish the finished body.
+type evalJob struct {
+	req      *sim.EvalRequest
+	cacheKey string
 }
 
 // newServer wires the handler chain:
 //
-//	AccessLog → Recover → mux → [compute: Admit → Chaos → handler]
-//	                          → [cheap:           Chaos → handler]
+//	AccessLog → Recover → mux → [experiment: Admit → Chaos → handler]
+//	                          → [evaluate:   ChaosFaults → handler → batchq → group executor]
+//	                          → [cheap:      Chaos → handler]
 //
 // Cheap endpoints (/healthz, /readyz, /metricz, the network and
 // experiment indexes, network registration) never queue behind compute,
-// so liveness and inventory stay responsive under full load. Compute
-// endpoints (/v1/evaluate, /v1/experiments/{id}) pass admission control
-// with their own deadline class. Chaos sits innermost so injected latency
-// occupies a real concurrency slot and injected panics exercise the real
-// recovery path.
+// so liveness and inventory stay responsive under full load. The
+// experiment endpoint passes classic per-request admission control.
+// The evaluate endpoint runs through the batching layer instead: the
+// handler consults the result cache and joins a coalescing group, and
+// the GROUP executor (runEvalGroup) acquires one admission slot for the
+// whole group — a coalesced waiter never holds a compute slot. Chaos
+// error/panic injection stays per-request at the evaluate handler;
+// chaos latency moves into the executor so it still burns slot time.
 func newServer(cfg serverConfig) *server {
 	cfg.fillDefaults()
 	s := &server{
@@ -105,13 +151,20 @@ func newServer(cfg serverConfig) *server {
 		logger:  cfg.Logger,
 		started: time.Now(),
 	}
+	s.evalClass = serve.Class{Name: "evaluate", Timeout: cfg.EvaluateTimeout}
+	s.evalCache = batchq.NewCache[[]byte](cfg.CacheEntries)
+	window := cfg.BatchWindow
+	if window < 0 {
+		window = 0
+	}
+	s.evalQueue = batchq.New(context.Background(), window, cfg.BatchMax,
+		!cfg.NoCoalesce, s.runEvalGroup)
 	cheap := func(h http.HandlerFunc) http.Handler {
 		return cfg.Chaos.Wrap(h)
 	}
 	compute := func(class serve.Class, h http.HandlerFunc) http.Handler {
 		return serve.Admit(s.limiter, class, s.metrics, s.logger, cfg.Chaos.Wrap(h))
 	}
-	evalClass := serve.Class{Name: "evaluate", Timeout: cfg.EvaluateTimeout}
 	expClass := serve.Class{Name: "experiment", Timeout: cfg.ExperimentTimeout}
 
 	s.mux.Handle("GET /healthz", cheap(s.handleHealthz))
@@ -120,7 +173,7 @@ func newServer(cfg serverConfig) *server {
 	s.mux.Handle("POST /v1/networks", cheap(s.handleRegisterNetwork))
 	s.mux.Handle("GET /v1/networks", cheap(s.handleNetworkIndex))
 	s.mux.Handle("GET /v1/experiments", cheap(s.handleExperimentIndex))
-	s.mux.Handle("POST /v1/evaluate", compute(evalClass, s.handleEvaluate))
+	s.mux.Handle("POST /v1/evaluate", cfg.Chaos.WrapFaults(http.HandlerFunc(s.handleEvaluate)))
 	s.mux.Handle("GET /v1/experiments/{id}", compute(expClass, s.handleExperiment))
 
 	s.handler = serve.AccessLog(s.logger, s.metrics,
@@ -284,6 +337,14 @@ func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	snap["in_flight"] = s.limiter.InFlight()
 	snap["queued"] = s.limiter.Queued()
 	snap["shed_total"] = s.metrics.Shed()
+	hits, misses, evictions := s.evalCache.Stats()
+	snap["cache_hits"] = hits
+	snap["cache_misses"] = misses
+	snap["cache_evictions"] = evictions
+	batches, batched, coalesced := s.evalQueue.Stats()
+	snap["batches"] = batches
+	snap["batched_requests"] = batched
+	snap["coalesced_requests"] = coalesced
 	s.writeJSON(w, snap)
 }
 
@@ -325,20 +386,138 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // handleEvaluate decodes one sim.EvalRequest — naming a zoo or registered
-// network, or carrying an inline network spec — and runs it through the
-// public facade under the admitted request context (deadline class
-// "evaluate", minus any queue wait).
+// network, or carrying an inline network spec — and serves it through the
+// batching layer:
+//
+//  1. derive the request's identity keys (a malformed request is a 400
+//     here, before it ever touches admission),
+//  2. consult the result cache — a hit answers without a compute slot,
+//  3. join the coalescing queue: byte-identical in-flight requests share
+//     one computation (Cache-Status: coalesced), compatible requests that
+//     differ only in seed batch into one fused group evaluation.
+//
+// The group executor (runEvalGroup) holds the single admission slot for
+// the whole group; shed failures fan back here per waiter.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req sim.EvalRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	res, err := sim.Evaluate(r.Context(), &req)
+	if info := serve.RequestInfo(r.Context()); info != nil {
+		info.Class = s.evalClass.Name
+	}
+	cacheKey, batchKey, err := req.Keys()
 	if err != nil {
 		s.writeComputeError(w, r, err)
 		return
 	}
-	s.writeJSON(w, res)
+	if body, ok := s.evalCache.Get(cacheKey); ok {
+		s.writeEvalBody(w, body, "hit")
+		return
+	}
+	body, outcome, err := s.evalQueue.Do(r.Context(), batchKey, cacheKey,
+		&evalJob{req: &req, cacheKey: cacheKey})
+	if err != nil {
+		s.writeEvalError(w, r, err)
+		return
+	}
+	status := "miss"
+	if outcome == batchq.Coalesced {
+		status = "coalesced"
+	}
+	s.writeEvalBody(w, body, status)
+}
+
+// writeEvalBody writes a finished evaluate response body with its
+// Cache-Status header (hit, miss or coalesced).
+func (s *server) writeEvalBody(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Status", cacheStatus)
+	if _, err := w.Write(body); err != nil && s.logger != nil {
+		s.logger.Printf("timelyd: writing evaluate response: %v", err)
+	}
+}
+
+// shedError marks an admission failure crossing back from the group
+// executor to the waiting handlers, which must answer it with the uniform
+// shed response (WriteShed) rather than a compute error.
+type shedError struct{ err error }
+
+func (e *shedError) Error() string { return e.err.Error() }
+func (e *shedError) Unwrap() error { return e.err }
+
+// writeEvalError maps a batching-path failure onto the wire. Three cases
+// beyond the classic compute errors:
+//
+//   - the group was shed at admission → every waiter gets the uniform
+//     queue-phase shed body (each waiter books its own shed metric: the
+//     counters track requests, not groups);
+//   - the shared computation was cancelled but THIS client is still
+//     connected (it joined a group in the instant its last other waiter
+//     departed) → a retryable 503, not a phantom 499;
+//   - everything else → writeComputeError, same as the unbatched server.
+func (s *server) writeEvalError(w http.ResponseWriter, r *http.Request, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		serve.WriteShed(w, r, s.limiter, s.metrics, s.logger, shed.err)
+		return
+	}
+	if errors.Is(err, context.Canceled) && r.Context().Err() == nil {
+		serve.MarkOutcome(r.Context(), "shed")
+		serve.WriteError(w, s.logger, http.StatusServiceUnavailable, "queue", time.Second,
+			errors.New("shared computation was abandoned; retry"))
+		return
+	}
+	s.writeComputeError(w, r, err)
+}
+
+// runEvalGroup is the batchq executor: it runs ONE group of coalesced
+// evaluate requests under a single admission slot and returns each
+// member's finished response body. The slot is acquired with the evaluate
+// deadline class; on shed every member fails with the same wrapped
+// admission error. Chaos latency is applied inside the slot (matching
+// where Chaos.Wrap ran when the handler held the slot itself), the fused
+// evaluation runs under the class budget minus queue wait, and each
+// successful body is published to the result cache.
+func (s *server) runEvalGroup(ctx context.Context, jobs []*evalJob) ([][]byte, []error) {
+	bodies := make([][]byte, len(jobs))
+	errs := make([]error, len(jobs))
+	g, err := s.limiter.Acquire(ctx, s.evalClass.Timeout)
+	if err != nil {
+		for i := range errs {
+			errs[i] = &shedError{err: err}
+		}
+		return bodies, errs
+	}
+	defer g.Release()
+	s.metrics.Admitted.Add(1)
+	s.metrics.QueueWaitNanos.Add(int64(g.Wait))
+	if s.evalClass.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.evalClass.Timeout-g.Wait)
+		defer cancel()
+	}
+	s.cfg.Chaos.SleepLatency(ctx, "/v1/evaluate")
+	reqs := make([]*sim.EvalRequest, len(jobs))
+	for i, j := range jobs {
+		reqs[i] = j.req
+	}
+	vals, verrs := sim.EvaluateBatch(ctx, reqs)
+	for i, j := range jobs {
+		if verrs[i] != nil {
+			errs[i] = verrs[i]
+			continue
+		}
+		body, merr := json.MarshalIndent(vals[i], "", "  ")
+		if merr != nil {
+			errs[i] = fmt.Errorf("encoding response: %w", merr)
+			continue
+		}
+		body = append(body, '\n')
+		bodies[i] = body
+		s.evalCache.Put(j.cacheKey, body)
+	}
+	return bodies, errs
 }
 
 // handleRegisterNetwork validates the posted network spec and registers it

@@ -1,0 +1,255 @@
+// Package batchq is the serving-side request-coalescing layer behind
+// timelyd's POST /v1/evaluate: a bounded gather queue that groups
+// compatible in-flight requests into one shared execution, plus
+// singleflight de-duplication of byte-identical requests and an LRU
+// result cache (cache.go).
+//
+// Requests enter through Do with two keys. The batch key names the
+// equivalence class whose members may execute as ONE group computation
+// (for the evaluation service: everything but the Monte-Carlo seed); the
+// job key names an exact computation (batch key + seed). Within a gather
+// window, jobs sharing a batch key accumulate into one group; when the
+// window expires — or the group reaches the batch cap — the group fires
+// and the queue's Run callback executes all of its jobs together.
+// Requests whose job key matches an in-flight job (gathering OR
+// executing) do not enqueue new work at all: they coalesce onto the
+// existing job and share its result, the classic singleflight shape.
+//
+// The group computation runs on its own goroutine under a context
+// derived from the queue's base context, NOT from any individual
+// waiter's: a client that disconnects mid-flight abandons only its own
+// wait, and the shared computation is cancelled only when the LAST
+// waiter on the group has departed. This is what makes coalescing safe
+// under impatient clients — one 499 must never poison the result the
+// surviving waiters get.
+package batchq
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome classifies how a Do call obtained its result.
+type Outcome int
+
+const (
+	// Computed: the request entered a batch group and the result was
+	// computed (possibly shared with other group members at other seeds).
+	Computed Outcome = iota
+	// Coalesced: the request joined a byte-identical in-flight job and
+	// shared its result without enqueueing any work.
+	Coalesced
+)
+
+// Run executes one fired group. reqs holds the group's distinct jobs in
+// arrival order; the callback returns one value and one error per job
+// (a nil error slice means every job succeeded). ctx is the group's
+// context: it is cancelled when every waiter has departed, and callers
+// are expected to derive their compute deadline from it.
+type Run[T, V any] func(ctx context.Context, reqs []T) ([]V, []error)
+
+// Queue is the coalescing batch queue. One instance serves concurrent
+// Do calls; the zero value is not usable — construct with New.
+type Queue[T, V any] struct {
+	base     context.Context
+	window   time.Duration
+	maxBatch int
+	coalesce bool
+	run      Run[T, V]
+
+	mu        sync.Mutex
+	gathering map[string]*group[T, V] // batch key → group still in its window
+	inflight  map[string]*job[T, V]   // job key → gathering or executing job
+	seq       uint64                  // synthetic job keys when coalescing is off
+
+	batches   atomic.Int64 // groups executed
+	batched   atomic.Int64 // requests that entered a group as a distinct job
+	coalesced atomic.Int64 // requests that joined an existing job
+}
+
+// job is one distinct computation: a request plus the completion state
+// every waiter coalesced onto it shares.
+type job[T, V any] struct {
+	key  string
+	req  T
+	g    *group[T, V]
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// group is one gather-window's worth of jobs sharing a batch key.
+type group[T, V any] struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []*job[T, V] // immutable once fired
+	// waiters counts live Do calls (leaders and coalesced joiners) still
+	// waiting on any job of this group; guarded by Queue.mu. When it
+	// drops to zero the group context is cancelled.
+	waiters int
+	fired   bool
+	timer   *time.Timer
+}
+
+// New builds a queue. window is the gather window (<= 0 fires every
+// group on its first job — no gathering); maxBatch caps the distinct
+// jobs per group (values < 1 are treated as 1); coalesce enables
+// singleflight de-duplication by job key (off, every request is its own
+// job — the configuration that reproduces the unbatched per-request
+// path). Group computations derive their context from base, which
+// should outlive every Do call (typically context.Background()).
+func New[T, V any](base context.Context, window time.Duration, maxBatch int, coalesce bool, run Run[T, V]) *Queue[T, V] {
+	if base == nil {
+		base = context.Background()
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &Queue[T, V]{
+		base:      base,
+		window:    window,
+		maxBatch:  maxBatch,
+		coalesce:  coalesce,
+		run:       run,
+		gathering: map[string]*group[T, V]{},
+		inflight:  map[string]*job[T, V]{},
+	}
+}
+
+// Do submits one request and blocks until its result is available or ctx
+// fires. Requests sharing a batch key gather into one group; requests
+// sharing a job key coalesce onto one computation. A ctx cancellation
+// abandons only this caller's wait — the shared computation keeps
+// running for the other waiters and is cancelled only when the last one
+// departs.
+func (q *Queue[T, V]) Do(ctx context.Context, batchKey, jobKey string, req T) (V, Outcome, error) {
+	q.mu.Lock()
+	if q.coalesce {
+		// Singleflight: a byte-identical job already gathering or executing
+		// serves this request too. A group whose every waiter already
+		// departed is abandoned — its context is cancelled — so it cannot
+		// be joined.
+		if j, ok := q.inflight[jobKey]; ok && j.g.ctx.Err() == nil {
+			j.g.waiters++
+			q.coalesced.Add(1)
+			q.mu.Unlock()
+			return q.wait(ctx, j, Coalesced)
+		}
+	} else {
+		// De-duplication off: give every request a unique job identity so
+		// nothing ever coalesces (the unbatched-baseline configuration).
+		q.seq++
+		jobKey = "\x00" + strconv.FormatUint(q.seq, 10)
+	}
+	g := q.gathering[batchKey]
+	if g == nil {
+		g = q.newGroupLocked(batchKey)
+	}
+	j := &job[T, V]{key: jobKey, req: req, g: g, done: make(chan struct{})}
+	g.jobs = append(g.jobs, j)
+	g.waiters++
+	q.inflight[jobKey] = j
+	q.batched.Add(1)
+	if q.window <= 0 || len(g.jobs) >= q.maxBatch {
+		q.fireLocked(g)
+	}
+	q.mu.Unlock()
+	return q.wait(ctx, j, Computed)
+}
+
+// newGroupLocked opens a gather window for a batch key. Caller holds mu.
+func (q *Queue[T, V]) newGroupLocked(batchKey string) *group[T, V] {
+	gctx, cancel := context.WithCancel(q.base)
+	g := &group[T, V]{key: batchKey, ctx: gctx, cancel: cancel}
+	q.gathering[batchKey] = g
+	if q.window > 0 && q.maxBatch > 1 {
+		g.timer = time.AfterFunc(q.window, func() {
+			q.mu.Lock()
+			q.fireLocked(g)
+			q.mu.Unlock()
+		})
+	}
+	return g
+}
+
+// fireLocked closes the group's gather window and starts its execution.
+// Caller holds mu; firing is idempotent (the window timer and the
+// batch-cap path can race onto the same group).
+func (q *Queue[T, V]) fireLocked(g *group[T, V]) {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	if q.gathering[g.key] == g {
+		delete(q.gathering, g.key)
+	}
+	q.batches.Add(1)
+	go q.execute(g)
+}
+
+// execute runs one fired group and fans the per-job results out to every
+// waiter. It owns g.jobs exclusively: Do stops appending once the group
+// left the gathering map.
+func (q *Queue[T, V]) execute(g *group[T, V]) {
+	reqs := make([]T, len(g.jobs))
+	for i, j := range g.jobs {
+		reqs[i] = j.req
+	}
+	vals, errs := q.run(g.ctx, reqs)
+	q.mu.Lock()
+	for i, j := range g.jobs {
+		if i < len(vals) {
+			j.val = vals[i]
+		}
+		if errs != nil && i < len(errs) {
+			j.err = errs[i]
+		}
+		// Stop coalescing onto a completed job (a later identical request
+		// must become a fresh computation — or a cache hit upstream).
+		if q.inflight[j.key] == j {
+			delete(q.inflight, j.key)
+		}
+		close(j.done)
+	}
+	q.mu.Unlock()
+	g.cancel()
+}
+
+// wait blocks one Do call on its job. On ctx expiry the caller departs
+// the group: the shared computation is cancelled only if this was the
+// group's last live waiter.
+func (q *Queue[T, V]) wait(ctx context.Context, j *job[T, V], o Outcome) (V, Outcome, error) {
+	select {
+	case <-j.done:
+		return j.val, o, j.err
+	case <-ctx.Done():
+		q.depart(j.g)
+		var zero V
+		return zero, o, ctx.Err()
+	}
+}
+
+// depart records a waiter abandoning its group mid-flight.
+func (q *Queue[T, V]) depart(g *group[T, V]) {
+	q.mu.Lock()
+	g.waiters--
+	last := g.waiters <= 0
+	q.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+}
+
+// Stats returns the lifetime counters: groups executed, requests that
+// entered a group as distinct jobs, and requests that coalesced onto an
+// existing job.
+func (q *Queue[T, V]) Stats() (batches, batchedRequests, coalescedRequests int64) {
+	return q.batches.Load(), q.batched.Load(), q.coalesced.Load()
+}

@@ -1,0 +1,301 @@
+package batchq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRun returns each request back as its value, recording every fired
+// group, so tests can assert exactly how requests were grouped.
+type recorder struct {
+	mu     sync.Mutex
+	groups [][]int
+	runs   atomic.Int64
+}
+
+func (r *recorder) run(ctx context.Context, reqs []int) ([]int, []error) {
+	r.runs.Add(1)
+	r.mu.Lock()
+	r.groups = append(r.groups, append([]int(nil), reqs...))
+	r.mu.Unlock()
+	out := make([]int, len(reqs))
+	copy(out, reqs)
+	return out, nil
+}
+
+// TestImmediateFireWithoutWindow pins the no-gathering mode: window <= 0
+// executes every request as its own group of one.
+func TestImmediateFireWithoutWindow(t *testing.T) {
+	rec := &recorder{}
+	q := New(context.Background(), 0, 32, true, rec.run)
+	for i := 0; i < 3; i++ {
+		v, o, err := q.Do(context.Background(), "k", fmt.Sprintf("k/%d", i), i)
+		if err != nil || v != i || o != Computed {
+			t.Fatalf("Do(%d) = (%d, %v, %v)", i, v, o, err)
+		}
+	}
+	if got := rec.runs.Load(); got != 3 {
+		t.Fatalf("runs = %d, want 3 (no gathering with window 0)", got)
+	}
+	batches, batched, coalesced := q.Stats()
+	if batches != 3 || batched != 3 || coalesced != 0 {
+		t.Errorf("stats = (%d, %d, %d), want (3, 3, 0)", batches, batched, coalesced)
+	}
+}
+
+// TestGatherWindowGroups pins the window semantics: distinct seeds of one
+// batch key arriving within the window execute as ONE group.
+func TestGatherWindowGroups(t *testing.T) {
+	rec := &recorder{}
+	q := New(context.Background(), 200*time.Millisecond, 32, true, rec.run)
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, o, err := q.Do(context.Background(), "k", fmt.Sprintf("k/%d", i), i)
+			if err != nil || v != i || o != Computed {
+				t.Errorf("Do(%d) = (%d, %v, %v)", i, v, o, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := rec.runs.Load(); got != 1 {
+		t.Fatalf("runs = %d, want 1 (all requests inside one window)", got)
+	}
+	rec.mu.Lock()
+	size := len(rec.groups[0])
+	rec.mu.Unlock()
+	if size != n {
+		t.Fatalf("group size = %d, want %d", size, n)
+	}
+}
+
+// TestMaxBatchFiresEarly pins the cap: the group fires as soon as it
+// holds maxBatch jobs, without waiting out the window.
+func TestMaxBatchFiresEarly(t *testing.T) {
+	rec := &recorder{}
+	q := New(context.Background(), time.Hour, 2, true, rec.run)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := q.Do(context.Background(), "k", fmt.Sprintf("k/%d", i), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("batch-cap fire took %s — waited for the window?", d)
+	}
+	if got := rec.runs.Load(); got != 1 {
+		t.Fatalf("runs = %d, want 1", got)
+	}
+}
+
+// TestSingleflightCoalesces hammers one job key from many goroutines and
+// asserts exactly one computation with every waiter sharing its value.
+func TestSingleflightCoalesces(t *testing.T) {
+	var runs atomic.Int64
+	release := make(chan struct{})
+	q := New(context.Background(), 0, 1, true, func(ctx context.Context, reqs []int) ([]int, []error) {
+		runs.Add(1)
+		<-release
+		return []int{reqs[0] * 10}, nil
+	})
+	const n = 8
+	var wg sync.WaitGroup
+	var computed, coalesced atomic.Int64
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, o, err := q.Do(context.Background(), "k", "k/seed", 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v
+			if o == Coalesced {
+				coalesced.Add(1)
+			} else {
+				computed.Add(1)
+			}
+		}(i)
+	}
+	// Wait until every goroutine has either started the job or joined it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q.mu.Lock()
+		joined := false
+		if j, ok := q.inflight["k/seed"]; ok {
+			joined = j.g.waiters == n
+		}
+		q.mu.Unlock()
+		if joined || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("computations = %d, want exactly 1", got)
+	}
+	for i, v := range results {
+		if v != 70 {
+			t.Errorf("waiter %d got %d, want 70", i, v)
+		}
+	}
+	if computed.Load() != 1 || coalesced.Load() != n-1 {
+		t.Errorf("outcomes = %d computed / %d coalesced, want 1 / %d",
+			computed.Load(), coalesced.Load(), n-1)
+	}
+}
+
+// TestNoCoalesceRunsEveryRequest pins the baseline mode: with coalescing
+// off, identical concurrent requests each compute.
+func TestNoCoalesceRunsEveryRequest(t *testing.T) {
+	rec := &recorder{}
+	q := New(context.Background(), 0, 1, false, rec.run)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, o, err := q.Do(context.Background(), "k", "k/seed", 1); err != nil || o != Computed {
+				t.Errorf("Do = (%v, %v)", o, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.runs.Load(); got != 4 {
+		t.Fatalf("runs = %d, want 4 (coalescing off)", got)
+	}
+}
+
+// TestCancelledWaiterDoesNotKillSurvivors is the 499 contract: a waiter
+// whose context dies mid-flight gets its context error, while the shared
+// computation completes for the surviving waiter.
+func TestCancelledWaiterDoesNotKillSurvivors(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	q := New(context.Background(), 0, 1, true, func(ctx context.Context, reqs []int) ([]int, []error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		}
+		return []int{42}, nil
+	})
+
+	survivor := make(chan error, 1)
+	go func() {
+		v, _, err := q.Do(context.Background(), "k", "k/seed", 1)
+		if err == nil && v != 42 {
+			err = fmt.Errorf("survivor got %d, want 42", v)
+		}
+		survivor <- err
+	}()
+	<-started
+
+	// The second waiter joins the in-flight job, then its client vanishes.
+	cctx, cancel := context.WithCancel(context.Background())
+	joined := make(chan struct{})
+	impatient := make(chan error, 1)
+	go func() {
+		close(joined)
+		_, _, err := q.Do(cctx, "k", "k/seed", 1)
+		impatient <- err
+	}()
+	<-joined
+	// Give the joiner a moment to actually enter wait, then cut it loose.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter error = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if sawCancel.Load() {
+		t.Error("shared computation was cancelled although a waiter survived")
+	}
+}
+
+// TestAllWaitersGoneCancelsGroup pins the flip side: when EVERY waiter
+// departs, the group context is cancelled so the computation can stop.
+func TestAllWaitersGoneCancelsGroup(t *testing.T) {
+	cancelled := make(chan struct{})
+	q := New(context.Background(), 0, 1, true, func(ctx context.Context, reqs []int) ([]int, []error) {
+		<-ctx.Done()
+		close(cancelled)
+		return nil, []error{ctx.Err()}
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := q.Do(cctx, "k", "k/seed", 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("group context was not cancelled after the last waiter departed")
+	}
+}
+
+// TestPerJobErrors pins that errors fan out per job, not per group.
+func TestPerJobErrors(t *testing.T) {
+	boom := errors.New("boom")
+	q := New(context.Background(), 100*time.Millisecond, 8, true,
+		func(ctx context.Context, reqs []int) ([]int, []error) {
+			vals := make([]int, len(reqs))
+			errs := make([]error, len(reqs))
+			for i, r := range reqs {
+				if r%2 == 1 {
+					errs[i] = boom
+					continue
+				}
+				vals[i] = r * 10
+			}
+			return vals, errs
+		})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := q.Do(context.Background(), "k", fmt.Sprintf("k/%d", i), i)
+			if i%2 == 1 {
+				if !errors.Is(err, boom) {
+					t.Errorf("job %d error = %v, want boom", i, err)
+				}
+				return
+			}
+			if err != nil || v != i*10 {
+				t.Errorf("job %d = (%d, %v), want (%d, nil)", i, v, err, i*10)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -555,10 +555,7 @@ func (m *MappedLayer) ForwardBatch(inputs []int, nvec int, out []int) error {
 		return fmt.Errorf("core: batch output %d for %d waves of %d channels",
 			len(out), nvec, m.D)
 	}
-	// The batched fast path additionally assumes the sub-chip's zero-INL
-	// interfaces (always true for SubChip-built converters; checked so a
-	// future nonlinearity knob cannot silently change results).
-	if m.sc.noise.Deterministic() && m.sc.tdc.INL == 0 {
+	if m.BatchDeterministic() {
 		return m.forwardBatchDet(inputs, nvec, out)
 	}
 	for v := 0; v < nvec; v++ {
@@ -567,6 +564,17 @@ func (m *MappedLayer) ForwardBatch(inputs []int, nvec int, out []int) error {
 		}
 	}
 	return nil
+}
+
+// BatchDeterministic reports whether this mapped layer's batched forward
+// path is bit-identical regardless of batch composition: a deterministic
+// noise configuration (every sigma zero, no RNG consumed) with zero-INL
+// interfaces (always true for SubChip-built converters; checked so a
+// future nonlinearity knob cannot silently change results). When false,
+// waves draw from a shared RNG stream, so reordering inputs across layers
+// or batches would change the draws — callers must keep per-input order.
+func (m *MappedLayer) BatchDeterministic() bool {
+	return m.sc.noise.Deterministic() && m.sc.tdc.INL == 0
 }
 
 // batchBlock bounds the scratch footprint of the deterministic batched

@@ -147,52 +147,13 @@ type DefectResult struct {
 // regime, so the facade and the ablation experiment agree exactly at equal
 // (seed, rate, draws, sampler).
 func AnalogCNNAccuracy(ctx context.Context, seed uint64, trials int, faultRate float64, sampler stats.SamplerVersion) (*DefectResult, error) {
-	if trials < 1 {
-		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
-	}
-	sampler = sampler.Resolve()
-	tc, err := defectCNN(seed)
+	// A one-member batch: the fused executor (batch.go) IS the single path,
+	// so service-batched and standalone evaluations share every code path.
+	rs, err := AnalogCNNAccuracyBatch(ctx, []uint64{seed}, trials, faultRate, sampler)
 	if err != nil {
 		return nil, err
 	}
-	cnn, test := tc.cnn, tc.test
-	type unit struct {
-		acc    float64
-		faults int
-	}
-	units := make([]unit, trials)
-	err = parallelEach(ctx, trials, func(d int) error {
-		a, err := cnn.MapAnalog(core.Options{
-			Noise:         &analog.Noise{RNG: trialRNG(seed, d, seed+uint64(d)*101+1, sampler)},
-			InterfaceBits: 24,
-		}, faultRate)
-		if err != nil {
-			return err
-		}
-		acc, err := a.Accuracy(test)
-		if err != nil {
-			return err
-		}
-		units[d] = unit{acc: acc, faults: a.Faults()}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &DefectResult{IntAcc: cnn.AccuracyInt(test), Trials: trials, Sampler: sampler}
-	sum, faults := 0.0, 0
-	accs := make([]float64, trials)
-	for i, u := range units {
-		sum += u.acc
-		faults += u.faults
-		accs[i] = u.acc
-	}
-	res.AnalogAcc = sum / float64(trials)
-	res.Faults = faults / trials
-	var pcts [3]float64
-	stats.PercentilesInto(accs, []float64{10, 50, 90}, pcts[:])
-	res.AccP10, res.AccP50, res.AccP90 = pcts[0], pcts[1], pcts[2]
-	return res, nil
+	return rs[0], nil
 }
 
 // SchemePoint compares the signed-weight encodings.

@@ -62,57 +62,13 @@ func RunAccuracy(ctx context.Context, seed uint64, trials int, sampler stats.Sam
 // noise distribution, though not its exact deviates — are identical across
 // regimes.
 func AnalogMLPAccuracy(ctx context.Context, seed uint64, trials int, epsPS float64, sampler stats.SamplerVersion) (*AccuracyResult, error) {
-	if trials < 1 {
-		return nil, fmt.Errorf("experiments: trials must be >= 1, got %d", trials)
-	}
-	sampler = sampler.Resolve()
-	tm, err := accuracyMLP(seed)
+	// A one-member batch: the fused executor (batch.go) IS the single path,
+	// so service-batched and standalone evaluations share every code path.
+	rs, err := AnalogMLPAccuracyBatch(ctx, []uint64{seed}, trials, epsPS, sampler)
 	if err != nil {
 		return nil, err
 	}
-	m, q, test := tm.m, tm.q, tm.test
-	res := &AccuracyResult{
-		FloatAcc:       m.Accuracy(test),
-		IntAcc:         q.AccuracyInt(test),
-		CascadeErrorPS: analog.CascadeErrorBound(params.MaxCascadedXSubBufs, epsPS),
-		MarginPS:       params.TDelMargin,
-		Trials:         trials,
-		Sampler:        sampler,
-	}
-	// Monte-Carlo trials are independent (per-trial noise RNG); run them on
-	// the worker budget and reduce in trial order.
-	accs := make([]float64, trials)
-	err = parallelEach(ctx, trials, func(trial int) error {
-		noise := analog.DefaultNoiseRNG(trialRNG(seed, trial, seed+uint64(trial)*7919, sampler))
-		noise.XSubBufSigma = epsPS
-		a, err := q.MapAnalog(core.Options{
-			Noise:         noise,
-			InterfaceBits: 24,
-			InputHops:     params.MaxCascadedXSubBufs, // worst-case cascade (§V)
-		})
-		if err != nil {
-			return err
-		}
-		acc, err := a.Accuracy(test)
-		if err != nil {
-			return err
-		}
-		accs[trial] = acc
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sum := 0.0
-	for _, acc := range accs {
-		sum += acc
-	}
-	res.AnalogAcc = sum / float64(trials)
-	res.Loss = res.IntAcc - res.AnalogAcc
-	var pcts [3]float64
-	stats.PercentilesInto(accs, []float64{10, 50, 90}, pcts[:])
-	res.AccP10, res.AccP50, res.AccP90 = pcts[0], pcts[1], pcts[2]
-	return res, nil
+	return rs[0], nil
 }
 
 // RunNoiseSweep sweeps the X-subBuf error ε and reports analog accuracy —

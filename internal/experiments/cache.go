@@ -9,8 +9,10 @@ package experiments
 // is safe.
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/model"
@@ -18,14 +20,21 @@ import (
 	"repro/internal/workload"
 )
 
-// memo is a sync.Once-per-key cache: the first Do for a key computes, every
-// other caller (including concurrent ones) waits and shares the result.
+// memo is a sync.Once-per-key cache with LRU eviction: the first Do for a
+// key computes, every other caller (including concurrent ones) waits and
+// shares the result. When a cap is given, inserting past it evicts the
+// least-recently-used entry instead of refusing to store — a hot key keeps
+// hitting through an arbitrarily long scan of cold keys.
 type memo[V any] struct {
 	mu      sync.Mutex
-	entries map[string]*memoEntry[V]
+	ll      *list.List // of *memoEntry[V]; front = most recently used
+	entries map[string]*list.Element
+
+	evictions atomic.Int64
 }
 
 type memoEntry[V any] struct {
+	key  string
 	once sync.Once
 	val  V
 	err  error
@@ -35,32 +44,43 @@ func (m *memo[V]) Do(key string, f func() (V, error)) (V, error) {
 	return m.DoCapped(key, 0, f)
 }
 
-// DoCapped is Do with an entry budget: once the cache holds limit entries
-// (0 = unlimited), misses compute without being stored while hits keep
-// sharing. It bounds caches whose key space a client controls — a stream
-// of unique spec-hash evaluations degrades to uncached compute instead of
-// growing the process without bound.
+// DoCapped is Do with an entry budget (0 = unlimited): past the cap the
+// least-recently-used entry is evicted to make room. It bounds caches whose
+// key space a client controls — a stream of unique spec-hash evaluations
+// churns the cold end of the cache while hot entries keep sharing. An entry
+// evicted while still computing keeps serving the callers already attached
+// to it; only future lookups recompute.
 func (m *memo[V]) DoCapped(key string, limit int, f func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if m.entries == nil {
-		m.entries = map[string]*memoEntry[V]{}
+		m.ll = list.New()
+		m.entries = map[string]*list.Element{}
 	}
-	e, ok := m.entries[key]
-	if !ok {
-		if limit > 0 && len(m.entries) >= limit {
-			m.mu.Unlock()
-			return f()
+	var e *memoEntry[V]
+	if el, ok := m.entries[key]; ok {
+		m.ll.MoveToFront(el)
+		e = el.Value.(*memoEntry[V])
+	} else {
+		e = &memoEntry[V]{key: key}
+		m.entries[key] = m.ll.PushFront(e)
+		for limit > 0 && m.ll.Len() > limit {
+			back := m.ll.Back()
+			delete(m.entries, back.Value.(*memoEntry[V]).key)
+			m.ll.Remove(back)
+			m.evictions.Add(1)
 		}
-		e = &memoEntry[V]{}
-		m.entries[key] = e
 	}
 	m.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = f() })
 	return e.val, e.err
 }
 
+// Evictions returns the lifetime LRU eviction count.
+func (m *memo[V]) Evictions() int64 { return m.evictions.Load() }
+
 func (m *memo[V]) reset() {
 	m.mu.Lock()
+	m.ll = nil
 	m.entries = nil
 	m.mu.Unlock()
 }
@@ -129,8 +149,8 @@ func Eval(backend string, bits, chips int, network string) (*accel.Result, error
 }
 
 // maxSpecEvalEntries bounds the eval cache when the key is
-// client-controlled (unique custom specs): past the cap, evaluations still
-// run but are no longer stored.
+// client-controlled (unique custom specs): past the cap, the
+// least-recently-used entry is evicted to make room.
 const maxSpecEvalEntries = 4096
 
 // EvalSpec returns the memoized analytic evaluation of a custom compiled
@@ -138,9 +158,10 @@ const maxSpecEvalEntries = 4096
 // its layer table (model.Network.SpecHash) rather than its name: two
 // differently-named or differently-spelled specs that compile to the same
 // network share one cache entry, and a custom network can never collide
-// with a Table III benchmark's entry. The memoization is capped — a
-// client streaming unique specs degrades to uncached compute rather than
-// growing the cache without bound.
+// with a Table III benchmark's entry. The memoization is capped with LRU
+// eviction — a client streaming unique specs churns the cold end of the
+// cache rather than growing the process without bound, while hot specs
+// keep hitting.
 func EvalSpec(backend string, bits, chips int, n *model.Network) (*accel.Result, error) {
 	var acc accel.Accelerator
 	key := fmt.Sprintf("%s/%d/spec:%s", backend, chips, n.SpecHash())

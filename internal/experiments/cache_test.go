@@ -21,17 +21,61 @@ func TestMemoDoCapped(t *testing.T) {
 	if get("a", 2) != 1 || get("a", 2) != 1 || get("b", 2) != 2 {
 		t.Fatalf("memoization under the cap broke (calls=%d)", calls)
 	}
-	// At the cap: misses compute every time and are not stored...
-	if get("c", 2) != 3 || get("c", 2) != 4 {
-		t.Errorf("over-cap key was cached (calls=%d)", calls)
+	// Past the cap: the new key IS stored and the LRU entry ("a") is
+	// evicted — the old stop-caching-at-cap behavior left entry 4097
+	// permanently uncached.
+	if get("c", 2) != 3 || get("c", 2) != 3 {
+		t.Errorf("over-cap key was not cached (calls=%d)", calls)
 	}
-	// ...while existing entries keep hitting.
-	if get("a", 2) != 1 || get("b", 2) != 2 {
-		t.Errorf("cached entries lost at cap")
+	if m.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", m.Evictions())
 	}
-	// Limit 0 (plain Do) is unlimited and stores the new key.
-	if get("c", 0) != 5 || get("c", 2) != 5 {
-		t.Errorf("unlimited insert then capped hit broke (calls=%d)", calls)
+	// "b" was refreshed more recently than "a", so it survived.
+	if get("b", 2) != 2 {
+		t.Errorf("recently-used entry was evicted")
+	}
+	// "a" was the eviction victim: recomputed on next access.
+	if get("a", 2) != 4 {
+		t.Errorf("evicted entry was not recomputed (calls=%d)", calls)
+	}
+	// Limit 0 (plain Do) is unlimited: no eviction on insert.
+	before := m.Evictions()
+	if get("x", 0) != 5 || get("x", 0) != 5 {
+		t.Errorf("unlimited insert broke (calls=%d)", calls)
+	}
+	if m.Evictions() != before {
+		t.Errorf("unlimited insert evicted")
+	}
+}
+
+// TestMemoHotKeySurvivesColdScan is the LRU regression gate: a key that is
+// re-touched while a stream of unique cold keys floods past the cap keeps
+// hitting its cached value the whole way through.
+func TestMemoHotKeySurvivesColdScan(t *testing.T) {
+	var m memo[int]
+	const limit = 8
+	hotCalls := 0
+	hot := func() (int, error) { hotCalls++; return 99, nil }
+	if v, _ := m.DoCapped("hot", limit, hot); v != 99 {
+		t.Fatalf("hot = %d", v)
+	}
+	for i := 0; i < 4*limit; i++ {
+		key := "cold-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := m.DoCapped(key, limit, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		// Touch the hot key every few cold inserts, as a busy service would.
+		if i%3 == 0 {
+			if v, _ := m.DoCapped("hot", limit, hot); v != 99 {
+				t.Fatalf("hot key lost its value at cold insert %d", i)
+			}
+		}
+	}
+	if hotCalls != 1 {
+		t.Errorf("hot key recomputed %d times during the cold scan, want 1", hotCalls)
+	}
+	if m.Evictions() == 0 {
+		t.Errorf("cold scan past the cap evicted nothing")
 	}
 }
 

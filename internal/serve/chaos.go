@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -23,9 +24,12 @@ import (
 //
 // Counters are per-rule and deterministic: with error=3 exactly requests
 // 3, 6, 9, … of that rule fail, so tests assert exact behavior instead of
-// sampling probabilities. Injected latency sits INSIDE the admission slot
-// (Chaos wraps the innermost handler), so it is also the supported way to
-// saturate the limiter in tests without burning real compute.
+// sampling probabilities. Injected latency sits INSIDE the admission slot:
+// Wrap applies it in the innermost handler, and the batching evaluate path
+// — where the handler no longer holds the slot itself — calls SleepLatency
+// from the group executor while it owns the slot. Either way it is the
+// supported way to saturate the limiter in tests without burning real
+// compute.
 type Chaos struct {
 	rules []*chaosRule
 }
@@ -145,4 +149,56 @@ func (c *Chaos) Wrap(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// WrapFaults applies only the error/panic injections, advancing the same
+// per-rule counters Wrap does. The batching evaluate path uses it at the
+// handler layer (inside Recover, before cache lookup and coalescing) so
+// the every-Nth schedules stay per-REQUEST, while its latency runs in the
+// group executor via SleepLatency.
+func (c *Chaos) WrapFaults(next http.Handler) http.Handler {
+	if c == nil || len(c.rules) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, rule := range c.rules {
+			if rule.route != "" && !strings.HasPrefix(r.URL.Path, rule.route) {
+				continue
+			}
+			n := rule.count.Add(1)
+			if rule.panicEvery > 0 && n%rule.panicEvery == 0 {
+				panic(fmt.Sprintf("chaos: injected panic (request %d on %s)", n, r.URL.Path))
+			}
+			if rule.errEvery > 0 && n%rule.errEvery == 0 {
+				MarkOutcome(r.Context(), "error")
+				WriteError(w, nil, http.StatusInternalServerError, "", 0,
+					fmt.Errorf("chaos: injected error (request %d on %s)", n, r.URL.Path))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// SleepLatency blocks for the injected latency of every rule matching
+// path (interruptible by ctx). It does not advance rule counters —
+// latency fires on every match; the counters only schedule error/panic —
+// so a group executor can apply it while holding the compute slot without
+// skewing the fault schedules WrapFaults drives.
+func (c *Chaos) SleepLatency(ctx context.Context, path string) {
+	if c == nil {
+		return
+	}
+	for _, rule := range c.rules {
+		if rule.latency == 0 || (rule.route != "" && !strings.HasPrefix(path, rule.route)) {
+			continue
+		}
+		t := time.NewTimer(rule.latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
 }

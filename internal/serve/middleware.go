@@ -164,7 +164,7 @@ func Admit(l *Limiter, class Class, m *Metrics, logger *log.Logger, next http.Ha
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		g, err := l.Acquire(r.Context(), class.Timeout)
 		if err != nil {
-			shed(w, r, l, m, logger, err)
+			WriteShed(w, r, l, m, logger, err)
 			return
 		}
 		defer g.Release()
@@ -186,8 +186,11 @@ func Admit(l *Limiter, class Class, m *Metrics, logger *log.Logger, next http.Ha
 	})
 }
 
-// shed writes the admission failure response and books the metrics.
-func shed(w http.ResponseWriter, r *http.Request, l *Limiter, m *Metrics, logger *log.Logger, err error) {
+// WriteShed writes the admission failure response and books the metrics.
+// It is exported for handlers that orchestrate admission themselves (the
+// batching evaluate path acquires one slot per request GROUP, outside the
+// Admit middleware) so shed responses stay uniform across both shapes.
+func WriteShed(w http.ResponseWriter, r *http.Request, l *Limiter, m *Metrics, logger *log.Logger, err error) {
 	if info := RequestInfo(r.Context()); info != nil {
 		switch {
 		case errors.Is(err, ErrQueueBudget):

@@ -80,19 +80,7 @@ func (f *functional) Evaluate(ctx context.Context, network string) (*EvalResult,
 		if err != nil {
 			return nil, err
 		}
-		out.Accuracy = &AccuracyStats{
-			Float:          r.FloatAcc,
-			Int:            r.IntAcc,
-			Analog:         r.AnalogAcc,
-			AnalogP10:      r.AccP10,
-			AnalogP50:      r.AccP50,
-			AnalogP90:      r.AccP90,
-			LossPP:         r.Loss * 100,
-			CascadeErrorPS: r.CascadeErrorPS,
-			MarginPS:       r.MarginPS,
-			Trials:         r.Trials,
-			Sampler:        r.Sampler.String(),
-		}
+		out.Accuracy = mlpAccuracyStats(r)
 	case "cnn":
 		if f.cfg.IsSet(optNoise) {
 			return nil, fmt.Errorf("%w: timing noise applies to the \"mlp\" workload, not %q",
@@ -102,21 +90,45 @@ func (f *functional) Evaluate(ctx context.Context, network string) (*EvalResult,
 		if err != nil {
 			return nil, err
 		}
-		out.Accuracy = &AccuracyStats{
-			Int:       r.IntAcc,
-			Analog:    r.AnalogAcc,
-			AnalogP10: r.AccP10,
-			AnalogP50: r.AccP50,
-			AnalogP90: r.AccP90,
-			LossPP:    (r.IntAcc - r.AnalogAcc) * 100,
-			Faults:    r.Faults,
-			Trials:    r.Trials,
-			Sampler:   r.Sampler.String(),
-		}
+		out.Accuracy = cnnAccuracyStats(r)
 	default:
 		return nil, fmt.Errorf("%w: %q (the functional backend runs \"mlp\" or \"cnn\")",
 			ErrUnknownNetwork, network)
 	}
 	out.ElapsedMS = elapsedMS(start)
 	return out, nil
+}
+
+// mlpAccuracyStats converts the §VI-B accuracy study's result to the wire
+// form — one assembly shared by the single and group evaluation paths, so
+// batched responses cannot drift from unbatched ones.
+func mlpAccuracyStats(r *experiments.AccuracyResult) *AccuracyStats {
+	return &AccuracyStats{
+		Float:          r.FloatAcc,
+		Int:            r.IntAcc,
+		Analog:         r.AnalogAcc,
+		AnalogP10:      r.AccP10,
+		AnalogP50:      r.AccP50,
+		AnalogP90:      r.AccP90,
+		LossPP:         r.Loss * 100,
+		CascadeErrorPS: r.CascadeErrorPS,
+		MarginPS:       r.MarginPS,
+		Trials:         r.Trials,
+		Sampler:        r.Sampler.String(),
+	}
+}
+
+// cnnAccuracyStats converts the defect study's result to the wire form.
+func cnnAccuracyStats(r *experiments.DefectResult) *AccuracyStats {
+	return &AccuracyStats{
+		Int:       r.IntAcc,
+		Analog:    r.AnalogAcc,
+		AnalogP10: r.AccP10,
+		AnalogP50: r.AccP50,
+		AnalogP90: r.AccP90,
+		LossPP:    (r.IntAcc - r.AnalogAcc) * 100,
+		Faults:    r.Faults,
+		Trials:    r.Trials,
+		Sampler:   r.Sampler.String(),
+	}
 }
