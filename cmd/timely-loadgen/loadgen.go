@@ -16,10 +16,20 @@ import (
 	"repro/internal/stats"
 )
 
-// Config drives one load-generation run against a timelyd instance.
+// Config drives one load-generation run against a timelyd instance (or a
+// cluster of them).
 type Config struct {
-	// URL is the service base, e.g. http://127.0.0.1:8080.
+	// URL is the service base, e.g. http://127.0.0.1:8080. Ignored when
+	// Targets is set.
 	URL string
+	// Targets lists several service bases — a replicated cluster.
+	// Logical requests rotate round-robin across them, retries rotate to
+	// the NEXT target, and transport errors become retryable (up to
+	// MaxRetries, like sheds) while more than one target is configured:
+	// a killed replica diverts load to the survivors instead of failing
+	// the run, which is exactly the failover the cluster chaos tests
+	// measure. Empty means the single URL.
+	Targets []string
 	// Method, Path and Body describe the request to repeat. A non-empty
 	// Body is sent as application/json.
 	Method string
@@ -57,8 +67,16 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() error {
-	if c.URL == "" {
-		return errors.New("loadgen: URL is required")
+	if len(c.Targets) == 0 {
+		if c.URL == "" {
+			return errors.New("loadgen: URL or Targets is required")
+		}
+		c.Targets = []string{c.URL}
+	}
+	for i, t := range c.Targets {
+		if t == "" {
+			return fmt.Errorf("loadgen: target %d is empty", i)
+		}
 	}
 	if c.RPS <= 0 {
 		return fmt.Errorf("loadgen: rps must be > 0 (got %g)", c.RPS)
@@ -142,6 +160,27 @@ type Report struct {
 	Coalesced    int64   `json:"coalesced"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CoalesceRate float64 `json:"coalesce_rate"`
+
+	// Targets lists the configured service bases in rotation order;
+	// PerTarget breaks the attempt-level counters and latency down by the
+	// base that served each attempt (latency is attributed to the target
+	// answering the logical request's FINAL attempt). In a cluster run
+	// this is where a dead replica shows: its transport_errors climb
+	// while the survivors absorb the ok counts.
+	Targets   []string                `json:"targets"`
+	PerTarget map[string]*TargetStats `json:"per_target"`
+}
+
+// TargetStats is the per-target slice of the report.
+type TargetStats struct {
+	Attempts     int64            `json:"attempts"`
+	OK           int64            `json:"ok"`
+	Shed         int64            `json:"shed"`
+	ServerErrors int64            `json:"server_errors"`
+	ClientErrors int64            `json:"client_errors"`
+	Transport    int64            `json:"transport_errors"`
+	StatusCounts map[string]int64 `json:"status_counts"`
+	Latency      LatencySummary   `json:"latency"`
 }
 
 // collector accumulates worker results under one lock; the hot path is
@@ -150,15 +189,35 @@ type collector struct {
 	mu        sync.Mutex
 	report    Report
 	latencies []float64 // ms, successful logical requests
+	perTarget map[string]*targetAgg
 }
 
-func (c *collector) status(code int) {
+// targetAgg is one target's in-flight aggregation (stats + its own
+// latency sample, summarized at the end of the run).
+type targetAgg struct {
+	stats     TargetStats
+	latencies []float64
+}
+
+// target returns (creating on first use) the aggregation slot for base.
+// The caller must hold c.mu.
+func (c *collector) target(base string) *targetAgg {
+	a, ok := c.perTarget[base]
+	if !ok {
+		a = &targetAgg{stats: TargetStats{StatusCounts: map[string]int64{}}}
+		c.perTarget[base] = a
+	}
+	return a
+}
+
+func (c *collector) status(base string, code int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.report.StatusCounts == nil {
 		c.report.StatusCounts = map[string]int64{}
 	}
 	c.report.StatusCounts[strconv.Itoa(code)]++
+	c.target(base).stats.StatusCounts[strconv.Itoa(code)]++
 }
 
 func (c *collector) cacheStatus(cs string) {
@@ -227,13 +286,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	target := strings.TrimRight(cfg.URL, "/") + cfg.Path
-	col := &collector{}
-	col.report.Target = cfg.Method + " " + target
+	bases := make([]string, len(cfg.Targets))
+	urls := make([]string, len(cfg.Targets))
+	for i, t := range cfg.Targets {
+		bases[i] = strings.TrimRight(t, "/")
+		urls[i] = bases[i] + cfg.Path
+	}
+	col := &collector{perTarget: map[string]*targetAgg{}}
+	col.report.Target = cfg.Method + " " + strings.Join(urls, ",")
 	col.report.RPSTarget = cfg.RPS
 	col.report.Concurrency = cfg.Concurrency
 
 	wl := newWorkload(&cfg)
+	var rr atomic.Int64 // round-robin origin of each logical request
 	jobs := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -241,7 +306,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for range jobs {
-				oneRequest(ctx, &cfg, target, wl.next(), col)
+				oneRequest(ctx, &cfg, bases, urls, int(rr.Add(1)-1), wl.next(), col)
 			}
 		}()
 	}
@@ -297,6 +362,22 @@ schedule:
 		sort.Float64s(col.latencies)
 		r.Latency = summarize(col.latencies)
 	}
+	r.Targets = bases
+	r.PerTarget = make(map[string]*TargetStats, len(bases))
+	for base, a := range col.perTarget {
+		if len(a.latencies) > 0 {
+			sort.Float64s(a.latencies)
+			a.stats.Latency = summarize(a.latencies)
+		}
+		r.PerTarget[base] = &a.stats
+	}
+	// A target nothing reached (tiny run, many replicas) still gets its
+	// all-zero entry, so report consumers can index by configured base.
+	for _, base := range bases {
+		if _, ok := r.PerTarget[base]; !ok {
+			r.PerTarget[base] = &TargetStats{StatusCounts: map[string]int64{}}
+		}
+	}
 	return r, nil
 }
 
@@ -323,35 +404,55 @@ func summarize(sorted []float64) LatencySummary {
 // oneRequest executes one logical request: the initial attempt plus up to
 // MaxRetries retries of shed responses, with Retry-After-aware backoff.
 // The body is fixed per logical request (retries resend the same bytes).
-func oneRequest(ctx context.Context, cfg *Config, target, body string, col *collector) {
+// rr picks the request's origin in the target rotation; every retry
+// moves one target onward, so a cluster run spreads retried load over
+// the survivors, and transport errors — final against a single target —
+// are retried like sheds while another replica remains to try.
+func oneRequest(ctx context.Context, cfg *Config, bases, urls []string, rr int, body string, col *collector) {
 	start := time.Now()
 	backoff := cfg.Backoff
 	for attempt := 0; ; attempt++ {
+		i := (rr + attempt) % len(urls)
+		base, target := bases[i], urls[i]
 		code, cacheStatus, retryAfter, err := oneAttempt(ctx, cfg, target, body)
 		col.mu.Lock()
 		col.report.Attempts++
+		col.target(base).stats.Attempts++
 		col.mu.Unlock()
 
 		if err != nil {
 			col.mu.Lock()
 			col.report.Transport++
-			col.report.Failed++
+			col.target(base).stats.Transport++
+			canRetry := len(urls) > 1 && attempt < cfg.MaxRetries && ctx.Err() == nil
+			if canRetry {
+				col.report.Retries++
+			} else {
+				col.report.Failed++
+			}
 			col.mu.Unlock()
+			if canRetry {
+				continue // next attempt rotates to another replica, no backoff
+			}
 			return
 		}
-		col.status(code)
+		col.status(base, code)
 		col.cacheStatus(cacheStatus)
 		switch {
 		case code >= 200 && code < 300:
 			col.mu.Lock()
 			col.report.OK++
-			col.latencies = append(col.latencies,
-				float64(time.Since(start))/float64(time.Millisecond))
+			a := col.target(base)
+			a.stats.OK++
+			lat := float64(time.Since(start)) / float64(time.Millisecond)
+			col.latencies = append(col.latencies, lat)
+			a.latencies = append(a.latencies, lat)
 			col.mu.Unlock()
 			return
 		case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
 			col.mu.Lock()
 			col.report.Shed++
+			col.target(base).stats.Shed++
 			col.mu.Unlock()
 			if attempt >= cfg.MaxRetries {
 				col.mu.Lock()
@@ -383,12 +484,14 @@ func oneRequest(ctx context.Context, cfg *Config, target, body string, col *coll
 		case code >= 500:
 			col.mu.Lock()
 			col.report.ServerErrors++
+			col.target(base).stats.ServerErrors++
 			col.report.Failed++
 			col.mu.Unlock()
 			return
 		default:
 			col.mu.Lock()
 			col.report.ClientErrors++
+			col.target(base).stats.ClientErrors++
 			col.report.Failed++
 			col.mu.Unlock()
 			return

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -323,5 +324,104 @@ func TestCacheStatusReporting(t *testing.T) {
 	}
 	if r2.CacheHitRate != 0 || r2.CoalesceRate != 0 {
 		t.Errorf("headerless target produced rates: %+v", r2)
+	}
+}
+
+// TestMultiTargetRoundRobin: two live targets split the schedule, and the
+// report breaks attempts, status counts and latency down per target.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	ts1 := httptest.NewServer(handler)
+	defer ts1.Close()
+	ts2 := httptest.NewServer(handler)
+	defer ts2.Close()
+
+	report, err := Run(context.Background(), Config{
+		Targets:     []string{ts1.URL, ts2.URL},
+		RPS:         200,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Client:      ts1.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK != report.Sent || report.Failed != 0 {
+		t.Fatalf("OK=%d Failed=%d Sent=%d, want all OK", report.OK, report.Failed, report.Sent)
+	}
+	if len(report.Targets) != 2 {
+		t.Fatalf("Targets = %v, want both bases", report.Targets)
+	}
+	var okSum, attemptSum int64
+	for _, base := range []string{ts1.URL, ts2.URL} {
+		pt := report.PerTarget[base]
+		if pt == nil {
+			t.Fatalf("no per-target entry for %s (got %v)", base, report.PerTarget)
+		}
+		if pt.Attempts == 0 {
+			t.Errorf("target %s saw no attempts — rotation broken", base)
+		}
+		if pt.StatusCounts["200"] != pt.OK {
+			t.Errorf("target %s status counts %v vs OK %d", base, pt.StatusCounts, pt.OK)
+		}
+		if pt.OK > 0 && pt.Latency.P50Ms <= 0 {
+			t.Errorf("target %s has OKs but no latency summary", base)
+		}
+		okSum += pt.OK
+		attemptSum += pt.Attempts
+	}
+	if okSum != report.OK || attemptSum != report.Attempts {
+		t.Errorf("per-target sums (ok %d, attempts %d) disagree with totals (ok %d, attempts %d)",
+			okSum, attemptSum, report.OK, report.Attempts)
+	}
+}
+
+// TestMultiTargetTransportFailover: one of two targets is a corpse
+// (connection refused). With several targets a transport error retries
+// against the NEXT one, so every logical request still lands — the dead
+// replica shows up as its per-target transport_errors, not as run
+// failures. This is the loadgen side of the cluster kill-one chaos story.
+func TestMultiTargetTransportFailover(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer live.Close()
+	// A listener bound then closed: the port answers with a refusal.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	report, err := Run(context.Background(), Config{
+		Targets:     []string{live.URL, dead},
+		RPS:         100,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		MaxRetries:  2,
+		Client:      &http.Client{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 || report.OK != report.Sent {
+		t.Fatalf("OK=%d Failed=%d Sent=%d: transport failover did not absorb the dead target",
+			report.OK, report.Failed, report.Sent)
+	}
+	if report.Transport == 0 {
+		t.Error("no transport errors recorded against the dead target")
+	}
+	if report.Retries < report.Transport {
+		t.Errorf("retries %d < transport errors %d: failed attempts were not retried",
+			report.Retries, report.Transport)
+	}
+	if pt := report.PerTarget[dead]; pt == nil || pt.Transport == 0 || pt.OK != 0 {
+		t.Errorf("dead target breakdown = %+v, want only transport errors", pt)
+	}
+	if pt := report.PerTarget[live.URL]; pt == nil || pt.OK != report.OK {
+		t.Errorf("live target breakdown = %+v, want all %d OKs", pt, report.OK)
 	}
 }

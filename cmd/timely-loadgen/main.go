@@ -16,15 +16,25 @@
 // distinct spec hashes. The report parses timelyd's Cache-Status response
 // headers into cache-hit and coalesce counts and rates.
 //
+// Cluster runs: -target takes a comma-separated list of service bases
+// (overriding -url) and spreads logical requests round-robin across them.
+// Retries rotate to the next target, and transport errors — final against
+// a single target — are retried like sheds while another replica remains,
+// so killing one replica mid-run diverts its load to the survivors
+// instead of failing the run. The report carries a per-target breakdown
+// (attempts, status counts, latency percentiles) under "per_target".
+//
 // Usage:
 //
 //	timely-loadgen -url http://127.0.0.1:8080 -rps 20 -concurrency 8 -duration 10s
 //	timely-loadgen -path /v1/experiments/table5 -method GET -body '' -rps 5
 //	timely-loadgen -rps 50 -dup-ratio 0.8 -spec-pool 16 -duration 10s
+//	timely-loadgen -target http://127.0.0.1:8091,http://127.0.0.1:8092,http://127.0.0.1:8093 -rps 30
 //
 // Flags:
 //
 //	-url <base>          service base URL (default http://127.0.0.1:8080)
+//	-target <a,b,c>      comma-separated service bases for a cluster run (overrides -url)
 //	-path <path>         request path (default /v1/evaluate)
 //	-method <verb>       HTTP method (default POST)
 //	-body <json>         request body (default a small analytic evaluate)
@@ -50,11 +60,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 )
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "service base URL")
+	target := flag.String("target", "", "comma-separated service bases for a cluster run (overrides -url)")
 	path := flag.String("path", "/v1/evaluate", "request path")
 	method := flag.String("method", http.MethodPost, "HTTP method")
 	body := flag.String("body", `{"backend":"timely","network":"CNN-1","chips":2}`, "request body (sent as application/json when non-empty)")
@@ -70,8 +82,15 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 
+	var targets []string
+	for _, t := range strings.Split(*target, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
 	report, err := Run(context.Background(), Config{
 		URL:         *url,
+		Targets:     targets,
 		Method:      *method,
 		Path:        *path,
 		Body:        *body,

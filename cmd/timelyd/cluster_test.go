@@ -1,0 +1,408 @@
+package main
+
+// Sharded cluster mode: 3-replica fleets on loopback listeners, proving
+// the routing invariants the ISSUE gates on — byte-identical responses
+// through any entry replica (par 1/2/8), hop-bounded forwarding (no
+// routing loops), verbatim shed pass-through, and kill-one failover
+// where survivors absorb the dead replica's keyspace by computing
+// locally until its breaker re-closes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/sim"
+)
+
+type replica struct {
+	addr string
+	srv  *server
+	hs   *http.Server
+}
+
+// clusterOptions shapes one test fleet.
+type clusterOptions struct {
+	// mutate adjusts replica i's server config (nil = quietConfig).
+	mutate func(i int, cfg *serverConfig)
+	// cooldown is the breaker cooldown (default 1h: no half-open
+	// surprises unless the test wants them).
+	cooldown time.Duration
+}
+
+// startCluster boots n replicas sharing one consistent-hash ring, each
+// on its own loopback listener. Probing is disabled — the tests drive
+// breakers deterministically through forwarded traffic.
+func startCluster(t *testing.T, n int, opts clusterOptions) []*replica {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	cooldown := opts.cooldown
+	if cooldown == 0 {
+		cooldown = time.Hour
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		cfg := quietConfig()
+		if opts.mutate != nil {
+			opts.mutate(i, &cfg)
+		}
+		clu, err := cluster.New(cluster.Config{
+			Self:          addrs[i],
+			Peers:         addrs,
+			ProbeInterval: -1,
+			Cooldown:      cooldown,
+			Client:        &http.Client{Timeout: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cluster = clu
+		reps[i] = startReplica(t, lns[i], cfg)
+	}
+	return reps
+}
+
+// startReplica serves cfg on ln and registers cleanup.
+func startReplica(t *testing.T, ln net.Listener, cfg serverConfig) *replica {
+	t.Helper()
+	s := newServer(cfg)
+	hs := &http.Server{Handler: s}
+	go hs.Serve(ln)
+	r := &replica{addr: ln.Addr().String(), srv: s, hs: hs}
+	t.Cleanup(func() { hs.Close() })
+	return r
+}
+
+// clusterPost sends body to the replica's /v1/evaluate with optional
+// extra headers and returns status, response headers and body.
+func clusterPost(t *testing.T, addr, body string, hdr map[string]string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/evaluate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(raw)
+}
+
+// batchKeyOf derives the routing key exactly as handleEvaluate does.
+func batchKeyOf(t *testing.T, body string) string {
+	t.Helper()
+	var req sim.EvalRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	_, batchKey, err := req.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batchKey
+}
+
+// bodyOwnedBy hunts for an analytic evaluate body whose batch key the
+// given replica owns (varying the chip count varies the key).
+func bodyOwnedBy(t *testing.T, reps []*replica, owner int) string {
+	t.Helper()
+	clu := reps[0].srv.cfg.Cluster
+	for chips := 1; chips <= 512; chips++ {
+		body := fmt.Sprintf(`{"backend":"timely","network":"CNN-1","chips":%d}`, chips)
+		if clu.Owner(batchKeyOf(t, body)) == reps[owner].addr {
+			return body
+		}
+	}
+	t.Fatal("no body owned by the target replica in 512 tries")
+	return ""
+}
+
+// TestClusterByteIdenticalAcrossEntryReplicas is the acceptance gate:
+// the same request, entering through ANY of the three replicas, yields
+// byte-identical response bodies — at inner parallelism 1, 2 and 8.
+// Routing makes this hold exactly: every entry replica proxies the key
+// to its one owner, whose result cache freezes the response bytes
+// (elapsed_ms included), so the wire bytes cannot depend on the entry
+// point. Both analytic and functional (Monte-Carlo, where par changes
+// the execution schedule but PR 6's determinism gates pin the output)
+// requests are covered.
+func TestClusterByteIdenticalAcrossEntryReplicas(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			reps := startCluster(t, 3, clusterOptions{
+				mutate: func(i int, cfg *serverConfig) { cfg.Par = par },
+			})
+			bodies := []string{
+				`{"backend":"timely","network":"CNN-1"}`,
+				`{"backend":"timely","network":"VGG-D","chips":4}`,
+				`{"backend":"prime","network":"SqueezeNet"}`,
+				`{"backend":"isaac","network":"MLP-L"}`,
+				`{"backend":"functional","network":"mlp","trials":2,"seed":7}`,
+				`{"backend":"timely","network":"ResNet-152","gamma":16}`,
+			}
+			for _, body := range bodies {
+				var bytes, served []string
+				for _, rep := range reps {
+					status, hdr, got := clusterPost(t, rep.addr, body, nil)
+					if status != http.StatusOK {
+						t.Fatalf("entry %s body %s: status %d (%s)", rep.addr, body, status, got)
+					}
+					bytes = append(bytes, got)
+					served = append(served, hdr.Get(cluster.ServedByHeader))
+				}
+				for i := 1; i < 3; i++ {
+					if bytes[i] != bytes[0] {
+						t.Errorf("body %s: entry %d response differs from entry 0:\n%s\nvs\n%s",
+							body, i, bytes[i], bytes[0])
+					}
+					if served[i] != served[0] {
+						t.Errorf("body %s: served-by differs across entries: %v", body, served)
+					}
+				}
+				if served[0] == "" {
+					t.Errorf("body %s: no %s header", body, cluster.ServedByHeader)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterRoutesToOwner pins the locality story: a request entering
+// at a non-owner is answered by the owner (one forward), and repeating
+// it through another non-owner hits the owner's result cache.
+func TestClusterRoutesToOwner(t *testing.T) {
+	reps := startCluster(t, 3, clusterOptions{})
+	body := bodyOwnedBy(t, reps, 2)
+	entries := []int{0, 1}
+
+	status, hdr, _ := clusterPost(t, reps[entries[0]].addr, body, nil)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got := hdr.Get(cluster.ServedByHeader); got != reps[2].addr {
+		t.Fatalf("served by %q, want owner %s", got, reps[2].addr)
+	}
+	if cs := hdr.Get("Cache-Status"); cs != "miss" {
+		t.Errorf("first request Cache-Status = %q, want miss", cs)
+	}
+	status, hdr, _ = clusterPost(t, reps[entries[1]].addr, body, nil)
+	if status != http.StatusOK || hdr.Get(cluster.ServedByHeader) != reps[2].addr {
+		t.Fatalf("second entry: status %d served by %q", status, hdr.Get(cluster.ServedByHeader))
+	}
+	if cs := hdr.Get("Cache-Status"); cs != "hit" {
+		t.Errorf("same key via another entry: Cache-Status = %q, want hit (owner cache locality)", cs)
+	}
+	for _, i := range entries {
+		if fwd, ferr, fol := reps[i].srv.cfg.Cluster.Counters(); fwd != 1 || ferr != 0 || fol != 0 {
+			t.Errorf("entry %d counters = (%d,%d,%d), want (1,0,0)", i, fwd, ferr, fol)
+		}
+	}
+}
+
+// TestClusterHopBound proves the no-routing-loop invariant at the
+// receiver: a request already carrying the hop bound is computed
+// locally even though its key is owned elsewhere.
+func TestClusterHopBound(t *testing.T) {
+	reps := startCluster(t, 3, clusterOptions{})
+	body := bodyOwnedBy(t, reps, 2)
+
+	status, hdr, _ := clusterPost(t, reps[0].addr, body,
+		map[string]string{cluster.HopHeader: fmt.Sprint(cluster.MaxHops)})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if got := hdr.Get(cluster.ServedByHeader); got != reps[0].addr {
+		t.Errorf("hop-bounded request served by %q, want local %s", got, reps[0].addr)
+	}
+	if fwd, _, _ := reps[0].srv.cfg.Cluster.Counters(); fwd != 0 {
+		t.Errorf("hop-bounded request was forwarded (%d)", fwd)
+	}
+}
+
+// TestClusterShedPassThrough pins the forwarded error path: the owner
+// sheds with 429 + Retry-After, and the client — talking only to the
+// entry replica — sees the owner's status, Retry-After header and JSON
+// body verbatim through the proxy hop.
+func TestClusterShedPassThrough(t *testing.T) {
+	const ownerIdx = 2
+	var reps []*replica
+	reps = startCluster(t, 3, clusterOptions{
+		mutate: func(i int, cfg *serverConfig) {
+			cfg.MaxConcurrent = 1
+			cfg.QueueDepth = -1 // no queue: a busy slot sheds instantly
+			if i == ownerIdx {
+				chaos, err := serve.ParseChaos("route=/v1/evaluate,latency=800ms")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Chaos = chaos
+			}
+		},
+	})
+	victim := bodyOwnedBy(t, reps, ownerIdx)
+
+	// Occupy the owner's only slot: a hop-bounded request computes
+	// locally there and sits out the injected 800ms inside the slot.
+	occupied := make(chan struct{})
+	go func() {
+		defer close(occupied)
+		clusterPost(t, reps[ownerIdx].addr,
+			`{"backend":"timely","network":"SqueezeNet","chips":97}`,
+			map[string]string{cluster.HopHeader: fmt.Sprint(cluster.MaxHops)})
+	}()
+	time.Sleep(200 * time.Millisecond)
+
+	status, hdr, body := clusterPost(t, reps[0].addr, victim, nil)
+	<-occupied
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", status, body)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "5" {
+		t.Errorf("Retry-After = %q, want 5 (half the 10s default queue wait, passed verbatim)", ra)
+	}
+	var e struct {
+		Error       string `json:"error"`
+		Phase       string `json:"phase"`
+		RetryAfterS int    `json:"retry_after_s"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("shed body %q is not JSON: %v", body, err)
+	}
+	if !strings.Contains(e.Error, "admission queue full") || e.Phase != "queue" || e.RetryAfterS != 5 {
+		t.Errorf("shed body = %+v, want the owner's uniform queue-full shed", e)
+	}
+	if fwd, ferr, _ := reps[0].srv.cfg.Cluster.Counters(); fwd != 1 || ferr != 0 {
+		t.Errorf("entry counters = (fwd %d, err %d), want (1, 0): a shed is a forward, not a failure", fwd, ferr)
+	}
+	// A 429 came from a LIVE owner: the entry's breaker must stay closed.
+	if st := reps[0].srv.cfg.Cluster.BreakerState(reps[ownerIdx].addr); st != cluster.StateClosed {
+		t.Errorf("breaker after passed-through shed = %v, want closed", st)
+	}
+}
+
+// elapsedRe normalizes the one wall-clock field of an EvalResult body;
+// everything else must be byte-identical between a forwarded response
+// and a failover local recompute.
+var elapsedRe = regexp.MustCompile(`"elapsed_ms": [0-9.e+-]+`)
+
+// TestClusterKillOneFailover is the chaos acceptance scenario: with one
+// of three replicas dead, survivors absorb its keyspace by computing
+// locally — every request still answers 200 — the dead peer's breaker
+// opens after the failure threshold, and once open the doomed dial is
+// skipped entirely. A revived listener on the same address is re-found
+// through the half-open trial.
+func TestClusterKillOneFailover(t *testing.T) {
+	const deadIdx = 2
+	reps := startCluster(t, 3, clusterOptions{cooldown: 300 * time.Millisecond})
+	body := bodyOwnedBy(t, reps, deadIdx)
+	clu := reps[0].srv.cfg.Cluster
+
+	status, hdr, healthyBody := clusterPost(t, reps[0].addr, body, nil)
+	if status != http.StatusOK || hdr.Get(cluster.ServedByHeader) != reps[deadIdx].addr {
+		t.Fatalf("healthy: status %d served by %q", status, hdr.Get(cluster.ServedByHeader))
+	}
+
+	reps[deadIdx].hs.Close()
+
+	// The default failure threshold is 3: requests 1–3 discover the
+	// corpse at transport level and fail over to local compute; request
+	// 4 finds the breaker open and never dials.
+	for i := 1; i <= 4; i++ {
+		status, hdr, got := clusterPost(t, reps[0].addr, body, nil)
+		if status != http.StatusOK {
+			t.Fatalf("failover request %d: status %d (%s)", i, status, got)
+		}
+		if sb := hdr.Get(cluster.ServedByHeader); sb != reps[0].addr {
+			t.Fatalf("failover request %d served by %q, want local %s", i, sb, reps[0].addr)
+		}
+		// The failover answer carries the identical result payload —
+		// only elapsed_ms (wall clock of whoever computed) may differ.
+		if i == 1 {
+			norm := func(s string) string { return elapsedRe.ReplaceAllString(s, `"elapsed_ms": X`) }
+			if norm(got) != norm(healthyBody) {
+				t.Errorf("failover result differs from the owner's beyond elapsed_ms:\n%s\nvs\n%s", got, healthyBody)
+			}
+		}
+	}
+	if st := clu.BreakerState(reps[deadIdx].addr); st != cluster.StateOpen {
+		t.Fatalf("breaker after threshold transport failures = %v, want open", st)
+	}
+	fwd, ferr, fol := clu.Counters()
+	if fwd != 1 || ferr != 3 || fol != 4 {
+		t.Errorf("counters = (fwd %d, err %d, failover %d), want (1, 3, 4)", fwd, ferr, fol)
+	}
+
+	// /metricz on the survivor tells the same story, stable-keyed.
+	resp, err := http.Get("http://" + reps[0].addr + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSnap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap map[string]int64
+	if err := json.Unmarshal(rawSnap, &snap); err != nil {
+		t.Fatalf("metricz %s: %v", rawSnap, err)
+	}
+	if snap["forwarded"] != 1 || snap["forward_errors"] != 3 || snap["failover_local"] != 4 {
+		t.Errorf("metricz cluster counters = fwd %d err %d failover %d, want 1/3/4",
+			snap["forwarded"], snap["forward_errors"], snap["failover_local"])
+	}
+	if got := snap["peer_breaker_state:"+reps[deadIdx].addr]; got != int64(cluster.StateOpen) {
+		t.Errorf("metricz breaker state for dead peer = %d, want %d (open)", got, cluster.StateOpen)
+	}
+	if got := snap["peer_breaker_opens:"+reps[deadIdx].addr]; got != 1 {
+		t.Errorf("metricz breaker opens for dead peer = %d, want 1", got)
+	}
+
+	// Revive the replica on the SAME address; after the cooldown the
+	// entry's half-open trial re-discovers it and routing resumes.
+	var ln net.Listener
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", reps[deadIdx].addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", reps[deadIdx].addr, err)
+	}
+	revived := startReplica(t, ln, reps[deadIdx].srv.cfg)
+	time.Sleep(350 * time.Millisecond) // cooldown elapses
+
+	status2, hdr2, _ := clusterPost(t, reps[0].addr, body, nil)
+	if status2 != http.StatusOK || hdr2.Get(cluster.ServedByHeader) != revived.addr {
+		t.Fatalf("after revival: status %d served by %q, want owner %s",
+			status2, hdr2.Get(cluster.ServedByHeader), revived.addr)
+	}
+	if st := clu.BreakerState(revived.addr); st != cluster.StateClosed {
+		t.Errorf("breaker after successful trial = %v, want closed", st)
+	}
+}

@@ -46,6 +46,21 @@
 // admission slot. Every evaluate response carries a Cache-Status header:
 // hit, miss or coalesced.
 //
+// Cluster mode (see DESIGN.md "Cluster mode"): -peers lists every
+// replica's host:port (identically on every replica) and -self names
+// this one's entry in that list. Each replica builds the same
+// consistent-hash ring over the evaluate batch keyspace, so identical
+// specs always land on the same replica and its result cache and
+// singleflight pay off fleet-wide. A request owned by a healthy peer is
+// proxied there (one hop at most — the X-Timely-Hop header bounds
+// forwarding, so routing cannot loop) and the owner's response passes
+// back verbatim, shed statuses and Retry-After included. Per-peer
+// circuit breakers — fed by forward failures and background /readyz
+// probes every -probe-interval — open after repeated failures, after
+// which owned-elsewhere requests are computed locally (failover) until
+// the peer recovers. /metricz exposes forwarded, forward_errors,
+// failover_local and per-peer breaker states.
+//
 // Flags:
 //
 //	-addr <host:port>        listen address (default :8080)
@@ -60,6 +75,9 @@
 //	-batch-max N             max requests fused into one evaluate batch (default 32)
 //	-cache-entries N         evaluate result cache size (default 4096; 0 = off)
 //	-coalesce                singleflight+batching on /v1/evaluate (default true)
+//	-peers <a,b,c>           every replica's host:port, self included (default standalone)
+//	-self <host:port>        this replica's entry in -peers (required with -peers)
+//	-probe-interval <dur>    per-peer /readyz probe spacing (default 1s; 0 = no probes)
 //
 // Identical heavy inputs (benchmark networks, baseline evaluations,
 // trained classifiers) are memoized process-wide, so concurrent requests
@@ -77,9 +95,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -96,11 +116,40 @@ func main() {
 	batchMax := flag.Int("batch-max", 32, "max requests fused into one evaluate batch")
 	cacheEntries := flag.Int("cache-entries", 4096, "evaluate result cache entries (0 = cache off)")
 	coalesce := flag.Bool("coalesce", true, "singleflight de-dup + batching on /v1/evaluate")
+	peers := flag.String("peers", "", "comma-separated host:port of every replica, self included (empty = standalone)")
+	self := flag.String("self", "", "this replica's entry in -peers (required with -peers)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "per-peer /readyz probe spacing (0 = no probes)")
 	flag.Parse()
 
 	chaos, err := serve.ParseChaos(*chaosSpec)
 	if err != nil {
 		log.Fatalf("timelyd: %v", err)
+	}
+	var clu *cluster.Cluster
+	if *peers != "" {
+		var addrs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				addrs = append(addrs, p)
+			}
+		}
+		// The serverConfig-style 0-disables spelling maps onto the
+		// cluster config's negative-disables one.
+		interval := *probeInterval
+		if interval <= 0 {
+			interval = -1
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:          *self,
+			Peers:         addrs,
+			ProbeInterval: interval,
+			Logger:        log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("timelyd: %v", err)
+		}
+	} else if *self != "" {
+		log.Fatalf("timelyd: -self given without -peers")
 	}
 	// The serverConfig encodes "explicitly disabled" as negative (its 0
 	// means "default"); the flags use the friendlier 0-disables spelling.
@@ -124,6 +173,7 @@ func main() {
 		CacheEntries:      entries,
 		NoCoalesce:        !*coalesce,
 		Chaos:             chaos,
+		Cluster:           clu,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -134,6 +184,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if clu != nil {
+		clu.Start(ctx)
+		log.Printf("timelyd: cluster mode, self=%s peers=%s probe-interval=%s",
+			clu.Self(), strings.Join(clu.Peers(), ","), *probeInterval)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	conc, depth := srv.limiter.Capacity()

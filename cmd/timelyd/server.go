@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/batchq"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -60,6 +61,10 @@ type serverConfig struct {
 	// and BatchMax 1 it yields the pre-batching baseline the benchmark
 	// harness compares against.
 	NoCoalesce bool
+	// Cluster optionally shards the evaluate keyspace across replicas:
+	// a request whose batch key is owned by a healthy peer is proxied
+	// there (see handleEvaluate). nil means standalone.
+	Cluster *cluster.Cluster
 	// Chaos optionally injects per-route latency/errors/panics (tests
 	// and the -chaos flag).
 	Chaos *serve.Chaos
@@ -345,6 +350,16 @@ func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	snap["batches"] = batches
 	snap["batched_requests"] = batched
 	snap["coalesced_requests"] = coalesced
+	// The cluster counters are part of the stable snapshot shape even
+	// standalone (all-zero); per-peer breaker keys appear only when a
+	// fleet is configured. Ordering stays stable because writeJSON
+	// renders maps with sorted keys.
+	snap["forwarded"] = 0
+	snap["forward_errors"] = 0
+	snap["failover_local"] = 0
+	if c := s.cfg.Cluster; c != nil {
+		c.Snapshot(snap)
+	}
 	s.writeJSON(w, snap)
 }
 
@@ -356,23 +371,36 @@ func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 // silently ignored. It writes the error response itself and reports
 // whether decoding succeeded.
 func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	_, ok := s.decodeJSONRaw(w, r, v)
+	return ok
+}
+
+// decodeJSONRaw is decodeJSON surfacing the exact body bytes it decoded
+// — the cluster forwarding path re-sends those bytes verbatim so the
+// owning replica decodes (and answers) the identical request.
+func (s *server) decodeJSONRaw(w http.ResponseWriter, r *http.Request, v any) ([]byte, bool) {
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
 		s.writeError(w, http.StatusUnsupportedMediaType,
 			fmt.Errorf("content type %q is not supported; send application/json", ct))
-		return false
+		return nil, false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
-			return false
+			return nil, false
 		}
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
-		return false
+		return nil, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return nil, false
 	}
 	// The body must be exactly one JSON value: a second Decode must hit
 	// clean EOF, else the request smuggled trailing content past the
@@ -380,9 +408,9 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
 		s.writeError(w, http.StatusBadRequest,
 			errors.New("decoding request body: unexpected content after the JSON value"))
-		return false
+		return nil, false
 	}
-	return true
+	return raw, true
 }
 
 // handleEvaluate decodes one sim.EvalRequest — naming a zoo or registered
@@ -391,8 +419,16 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 //
 //  1. derive the request's identity keys (a malformed request is a 400
 //     here, before it ever touches admission),
-//  2. consult the result cache — a hit answers without a compute slot,
-//  3. join the coalescing queue: byte-identical in-flight requests share
+//  2. in cluster mode, route on the batch key: a request owned by a
+//     healthy peer is proxied there with the raw body and an incremented
+//     hop header, and the owner's response — status, Retry-After,
+//     Cache-Status, body — streams back verbatim. Requests at the hop
+//     bound, owned by this replica, or owned by a peer whose breaker is
+//     open compute locally (the latter trades cache locality for
+//     availability); a forward that fails at transport level falls
+//     through to local compute the same way,
+//  3. consult the result cache — a hit answers without a compute slot,
+//  4. join the coalescing queue: byte-identical in-flight requests share
 //     one computation (Cache-Status: coalesced), compatible requests that
 //     differ only in seed batch into one fused group evaluation.
 //
@@ -400,7 +436,8 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 // the whole group; shed failures fan back here per waiter.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req sim.EvalRequest
-	if !s.decodeJSON(w, r, &req) {
+	raw, ok := s.decodeJSONRaw(w, r, &req)
+	if !ok {
 		return
 	}
 	if info := serve.RequestInfo(r.Context()); info != nil {
@@ -410,6 +447,19 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeComputeError(w, r, err)
 		return
+	}
+	if c := s.cfg.Cluster; c != nil {
+		if owner, forward := c.Route(batchKey, cluster.Hops(r)); forward {
+			if c.Forward(w, r, owner, raw) == nil {
+				serve.MarkOutcome(r.Context(), "forwarded")
+				return
+			}
+			// Transport-level forward failure: the breaker and the
+			// forward_errors/failover_local counters are already booked;
+			// fall through and compute locally so the client still gets
+			// an answer while the owner is down.
+		}
+		w.Header().Set(cluster.ServedByHeader, c.Self())
 	}
 	if body, ok := s.evalCache.Get(cacheKey); ok {
 		s.writeEvalBody(w, body, "hit")

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position. The zero value is closed.
+type State int
+
+const (
+	// StateClosed: traffic flows; failures are counted.
+	StateClosed State = iota
+	// StateHalfOpen: one trial request at a time decides recovery.
+	StateHalfOpen
+	// StateOpen: traffic is refused until the cooldown elapses (or a
+	// probe reports the peer healthy again).
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half_open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is one peer's circuit breaker. Two signal sources drive it:
+// forward outcomes (a transport failure or 5xx is a Failure, anything
+// else a Success) and the background /readyz prober (RecordProbe).
+// State machine:
+//
+//	closed    --threshold consecutive failures-->  open
+//	open      --cooldown elapsed, next Allow-->    half-open (one trial)
+//	half-open --trial success-->                   closed
+//	half-open --trial failure-->                   open (cooldown restarts)
+//	any       --probe success-->                   closed
+//
+// A failure while already open (a failing probe) restarts the cooldown,
+// so a dead peer is not re-dialed by traffic while probes keep failing.
+// The clock is injectable so every transition is testable without sleeps.
+type Breaker struct {
+	mu        sync.Mutex
+	state     State
+	failures  int  // consecutive failures while closed
+	probing   bool // the half-open trial slot is taken
+	openedAt  time.Time
+	threshold int
+	cooldown  time.Duration
+	opens     int64 // cumulative closed/half-open → open transitions
+	now       func() time.Time
+}
+
+// NewBreaker builds a closed breaker tripping after `threshold`
+// consecutive failures (clamped to ≥ 1) and re-trialing after
+// `cooldown`. A nil `now` uses time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether one request may be sent to the peer. A true
+// return from the open or half-open state hands the caller the single
+// trial slot: the caller MUST settle it with exactly one of Success,
+// Failure or Cancel, or recovery stalls until a probe closes the breaker.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = StateHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // StateHalfOpen
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a request the peer answered (any response that is not
+// a 5xx): the breaker closes and the failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures = 0
+	b.state = StateClosed
+}
+
+// Failure records a transport failure, timeout or 5xx from the peer.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case StateHalfOpen:
+		b.trip()
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case StateOpen:
+		// A failing probe while open restarts the cooldown: traffic
+		// keeps avoiding the peer as long as probes say it is dead.
+		b.openedAt = b.now()
+	}
+}
+
+// Cancel releases a trial slot taken by Allow without a verdict (the
+// client vanished mid-forward — the peer proved nothing either way).
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// RecordProbe feeds one background /readyz probe result into the state
+// machine: a healthy probe closes the breaker from any state (direct
+// evidence beats waiting out a cooldown), a failed one counts exactly
+// like a failed request.
+func (b *Breaker) RecordProbe(ok bool) {
+	if ok {
+		b.Success()
+	} else {
+		b.Failure()
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the current position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

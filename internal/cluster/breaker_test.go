@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestBreaker(clk *fakeClock) *Breaker { return NewBreaker(3, 5*time.Second, clk.now) }
+
+// TestBreakerTripsAfterThreshold pins closed → open on the Nth
+// consecutive failure, with successes resetting the count.
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets the streak
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("after 2 consecutive failures: state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.Failure() // third consecutive: trip
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic before cooldown")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Errorf("Opens = %d, want 1", got)
+	}
+}
+
+// TestBreakerHalfOpenRecovery walks the trial path: cooldown elapses,
+// exactly ONE trial is admitted, and its verdict decides the state.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed traffic 1s before cooldown elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after trial admission: %v, want half_open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent trial admitted in half-open")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after trial success: %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused traffic")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens pins the relapse path, including
+// the restarted cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after cooldown")
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after trial failure: %v, want open", got)
+	}
+	// The cooldown restarted at the relapse, not the original trip.
+	clk.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed traffic before the restarted cooldown elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after the restarted cooldown")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Errorf("Opens = %d, want 2", got)
+	}
+}
+
+// TestBreakerCancelReleasesTrial: a trial abandoned without a verdict
+// frees the slot for the next caller instead of wedging recovery.
+func TestBreakerCancelReleasesTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("trial slot double-granted")
+	}
+	b.Cancel()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cancel: %v, want half_open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("cancelled trial slot not released")
+	}
+}
+
+// TestBreakerProbeDriven: a healthy probe closes the breaker from open
+// WITHOUT waiting out the cooldown (direct evidence), a failing probe
+// while open restarts the cooldown so traffic keeps avoiding the peer.
+func TestBreakerProbeDriven(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.RecordProbe(false)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 failed probes: %v, want open", got)
+	}
+	// Cooldown nearly elapsed, then another failing probe restarts it.
+	clk.advance(4 * time.Second)
+	b.RecordProbe(false)
+	clk.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("trial admitted while failing probes keep restarting the cooldown")
+	}
+	// The peer revives: one healthy probe reopens traffic immediately.
+	b.RecordProbe(true)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after healthy probe: %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("probe-recovered breaker refused traffic")
+	}
+}

@@ -1,0 +1,131 @@
+// Package cluster is the sharded-fleet substrate behind cmd/timelyd: a
+// consistent-hash ring that partitions the evaluate keyspace across N
+// replicas, per-peer circuit breakers driven by forward failures and
+// /readyz probes, and a forwarding layer that proxies a request to the
+// replica owning its key — with a hop bound so routing can never loop,
+// and graceful degradation to local compute when the owner is down.
+//
+// Like internal/serve, the package is free of simulator knowledge: keys
+// are opaque strings (timelyd feeds it sim.EvalRequest batch keys, so
+// cache and singleflight locality survive sharding), peers are opaque
+// host:port addresses, and the wire format is plain HTTP.
+//
+// The degradation ladder for one request whose key is owned elsewhere:
+//
+//  1. owner healthy (breaker closed, or half-open with a free trial
+//     slot) → proxy the raw body to the owner and stream its response —
+//     status, headers and body — back verbatim;
+//  2. the forward fails at transport level (connection refused, timeout)
+//     → the breaker records the failure and the receiving replica
+//     computes LOCALLY, trading cache locality for availability;
+//  3. the owner's breaker is open → skip the doomed dial entirely and
+//     compute locally until probes or a half-open trial revive it.
+//
+// Replicas agree on ownership because every replica builds the same ring
+// from the same -peers list; agreement is by exact address string, so
+// the list must be spelled identically fleet-wide.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per peer. 64 points per peer
+// keeps the keyspace split within a few percent of even for small fleets
+// while the ring stays tiny (N×64 points, binary-searched per request).
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring: each node contributes
+// vnodes points at FNV-64a("addr#i"), and a key is owned by the node of
+// the first point clockwise from FNV-64a(key). Immutability is the
+// point — membership is configuration, health is the breakers' job, so
+// every replica derives the identical ring from the identical peer list
+// and ownership never flaps with liveness.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds the ring over the given node addresses. Nodes must be
+// non-empty and unique; vnodes < 1 selects DefaultVNodes.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		points: make([]ringPoint, 0, len(nodes)*vnodes),
+		nodes:  make([]string, 0, len(nodes)),
+	}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(fmt.Sprintf("%s#%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	// Ties (astronomically unlikely with 64-bit FNV, but possible) break
+	// on the node address so every replica sorts identically.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.nodes)
+	return r, nil
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// hashKey is FNV-64a with a splitmix64 finalizer. Raw FNV disperses
+// poorly over near-identical strings (the "addr#0".."addr#63" vnode
+// labels land clustered, skewing the split to 2–3× fair share); the
+// finalizer's avalanche restores an even ring for a few shifts and
+// multiplies per hash.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingAgreement pins the property sharding depends on: every
+// replica, handed the same peer list in ANY order, derives the same
+// owner for every key.
+func TestRingAgreement(t *testing.T) {
+	orders := [][]string{
+		{"a:1", "b:2", "c:3"},
+		{"c:3", "a:1", "b:2"},
+		{"b:2", "c:3", "a:1"},
+	}
+	rings := make([]*Ring, len(orders))
+	for i, nodes := range orders {
+		r, err := NewRing(nodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("b=%q|net=%q|chips=%d", "timely", "CNN-1", k)
+		want := rings[0].Owner(key)
+		for i, r := range rings[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("key %d: ring %d owner %q != ring 0 owner %q", k, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestRingDistribution checks virtual nodes keep the split usably even:
+// with 3 nodes no node owns less than half or more than double its fair
+// share over a large key sample.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 9000
+	for k := 0; k < n; k++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", k))]++
+	}
+	fair := n / 3
+	for node, got := range counts {
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): split too skewed", node, got, n, fair)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingOwnerStable pins ownership against accidental hash or sort
+// changes: a remapped keyspace would silently void every replica's
+// cache locality on upgrade.
+func TestRingOwnerStable(t *testing.T) {
+	r, err := NewRing([]string{"127.0.0.1:8091", "127.0.0.1:8092", "127.0.0.1:8093"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden owners captured at introduction (FNV-64a + splitmix64
+	// finalizer, 64 vnodes) — one key per replica.
+	for key, want := range map[string]string{
+		"alpha":   "127.0.0.1:8092",
+		"bravo":   "127.0.0.1:8091",
+		"charlie": "127.0.0.1:8093",
+	} {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (hash function or ring layout changed)", key, got, want)
+		}
+	}
+}
+
+// TestRingValidation rejects the configurations that would make
+// replicas disagree or divide by zero.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 64); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 64); err == nil {
+		t.Error("empty node address accepted")
+	}
+}

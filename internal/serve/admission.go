@@ -34,10 +34,13 @@ type Limiter struct {
 	queued   atomic.Int64 // current waiters
 	inflight atomic.Int64 // current slot holders
 	draining atomic.Bool
-	// lastQueueFull is the monotonic-ish wall time (unix nanos) of the most
-	// recent ErrQueueFull shed; Saturated uses it when depth == 0, where
-	// "queue at capacity" is vacuously true and would flap readiness.
+	// lastQueueFull is the clock reading (unix nanos) of the most recent
+	// ErrQueueFull shed; Saturated uses it when depth == 0, where "queue
+	// at capacity" is vacuously true and would flap readiness.
 	lastQueueFull atomic.Int64
+	// now is the saturation-window clock, injectable (setClock) so the
+	// window-expiry semantics are testable without real sleeps.
+	now func() time.Time
 }
 
 // NewLimiter builds a limiter with `concurrency` compute slots, a wait
@@ -54,8 +57,13 @@ func NewLimiter(concurrency, depth int, maxWait time.Duration) *Limiter {
 		sem:     make(chan struct{}, concurrency),
 		depth:   depth,
 		maxWait: maxWait,
+		now:     time.Now,
 	}
 }
+
+// setClock replaces the saturation-window clock (tests only). It must
+// be called before the limiter sees traffic.
+func (l *Limiter) setClock(now func() time.Time) { l.now = now }
 
 // Grant is one admitted request's hold on a compute slot. Wait is the
 // time it spent queued (0 on the fast path); Release returns the slot and
@@ -97,7 +105,7 @@ func (l *Limiter) Acquire(ctx context.Context, budget time.Duration) (*Grant, er
 	// Slow path: take a queue position or shed.
 	if l.queued.Add(1) > int64(l.depth) {
 		l.queued.Add(-1)
-		l.lastQueueFull.Store(time.Now().UnixNano())
+		l.lastQueueFull.Store(l.now().UnixNano())
 		return nil, ErrQueueFull
 	}
 	defer l.queued.Add(-1)
@@ -178,7 +186,7 @@ func (l *Limiter) Saturated() bool {
 		return l.queued.Load() >= int64(l.depth)
 	}
 	last := l.lastQueueFull.Load()
-	return last > 0 && time.Since(time.Unix(0, last)) < saturationWindow
+	return last > 0 && l.now().Sub(time.Unix(0, last)) < saturationWindow
 }
 
 // RetryAfter suggests how long a shed client should back off before

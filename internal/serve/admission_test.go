@@ -172,6 +172,44 @@ func TestLimiterSaturated(t *testing.T) {
 	}
 }
 
+// TestLimiterSaturationWindowExpires pins the no-queue "recent shed"
+// window against an injected clock: a queue-full shed marks the limiter
+// saturated while the slots stay busy, and the mark expires after the
+// saturation window WITHOUT any slot churn — previously untestable
+// without a real one-second sleep, because the window read time.Now.
+func TestLimiterSaturationWindowExpires(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	l := NewLimiter(1, 0, time.Second)
+	l.setClock(func() time.Time { return now })
+
+	g, _ := l.Acquire(context.Background(), 0)
+	defer g.Release()
+	if _, err := l.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second acquire: err = %v, want ErrQueueFull", err)
+	}
+	if !l.Saturated() {
+		t.Fatal("no-queue limiter not saturated right after a queue-full shed")
+	}
+	// Just inside the window: still saturated.
+	now = now.Add(saturationWindow - time.Nanosecond)
+	if !l.Saturated() {
+		t.Error("saturation mark expired before the window elapsed")
+	}
+	// At the window boundary: the mark expires even though the slot is
+	// still held — bouncing stopped, so /readyz must recover.
+	now = now.Add(time.Nanosecond)
+	if l.Saturated() {
+		t.Error("saturation mark outlived the window")
+	}
+	// A fresh shed re-arms the window at the new clock reading.
+	if _, err := l.Acquire(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: err = %v, want ErrQueueFull", err)
+	}
+	if !l.Saturated() {
+		t.Error("fresh shed did not re-arm the saturation window")
+	}
+}
+
 func TestLimiterSaturatedWithQueue(t *testing.T) {
 	l := NewLimiter(1, 1, time.Second)
 	g, _ := l.Acquire(context.Background(), 0)

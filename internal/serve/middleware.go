@@ -25,7 +25,8 @@ type Info struct {
 	QueueWait time.Duration
 	// Outcome classifies how the request ended: "ok", "shed",
 	// "queue_deadline", "compute_deadline", "client_gone", "panic",
-	// "error". Inner layers overwrite the default "ok".
+	// "error", "forwarded" (answered by the cluster peer owning the
+	// request's key). Inner layers overwrite the default "ok".
 	Outcome string
 }
 
